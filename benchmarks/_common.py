@@ -1,0 +1,16 @@
+"""Shared helpers for the figure/table regeneration benches."""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.workloads.registry import pointer_intensive_names
+
+#: one shared configuration for every bench (scaled; see DESIGN.md Section 7)
+CONFIG = SystemConfig.scaled()
+
+BENCHES = pointer_intensive_names()
+
+
+def run_once(benchmark, func):
+    """Run *func* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **CDP compare bits** (paper Section 5 picks 8 of 32): too few bits and
+   everything looks like a pointer; too many and real pointers are missed.
+2. **Maximum recursion depth** (Table 2's CDP aggressiveness axis): depth
+   drives both coverage and flood risk.
+3. **T_coverage** (Table 4 / Section 4.2's tuning guidance): the scaled
+   preset raises it per the paper's own small-cache advice; this sweep
+   shows why.
+
+Each sweep runs a small representative benchmark set and prints the
+gmean IPC delta vs. the stream baseline.
+"""
+
+from _common import CONFIG, run_once
+
+from repro.experiments.metrics import geomean
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import clear_caches, run_benchmark
+
+SWEEP_BENCHES = ["health", "mst", "ammp", "mcf"]
+
+
+def _gmean_vs_baseline(mechanism, config):
+    ratios = []
+    for bench in SWEEP_BENCHES:
+        base = run_benchmark(bench, "baseline", config)
+        ours = run_benchmark(bench, mechanism, config)
+        ratios.append(ours.ipc / base.ipc)
+    return (geomean(ratios) - 1) * 100
+
+
+def compute_compare_bits():
+    rows = []
+    for bits in (2, 4, 8, 16):
+        config = CONFIG.with_overrides(cdp_compare_bits=bits)
+        rows.append((bits, f"{_gmean_vs_baseline('ecdp+throttle', config):+.1f}%"))
+    return rows
+
+
+def bench_ablation_compare_bits(benchmark, show):
+    rows = run_once(benchmark, compute_compare_bits)
+    show(
+        format_table(
+            ["compare bits", "gmean dIPC (ecdp+throttle)"],
+            rows,
+            title="Ablation — CDP compare-bits parameter (paper uses 8)",
+        )
+    )
+
+
+def compute_t_coverage():
+    rows = []
+    for t_coverage in (0.1, 0.2, 0.35, 0.5):
+        config = CONFIG.with_overrides(t_coverage=t_coverage)
+        rows.append(
+            (t_coverage, f"{_gmean_vs_baseline('ecdp+throttle', config):+.1f}%")
+        )
+    return rows
+
+
+def bench_ablation_t_coverage(benchmark, show):
+    rows = run_once(benchmark, compute_t_coverage)
+    show(
+        format_table(
+            ["T_coverage", "gmean dIPC (ecdp+throttle)"],
+            rows,
+            title="Ablation — coverage threshold (Section 4.2 tuning note)",
+        )
+    )
+
+
+def compute_interval():
+    rows = []
+    for interval in (64, 256, 1024, 4096):
+        config = CONFIG.with_overrides(interval_evictions=interval)
+        rows.append(
+            (interval, f"{_gmean_vs_baseline('ecdp+throttle', config):+.1f}%")
+        )
+    return rows
+
+
+def bench_ablation_interval(benchmark, show):
+    rows = run_once(benchmark, compute_interval)
+    show(
+        format_table(
+            ["interval (L2 evictions)", "gmean dIPC (ecdp+throttle)"],
+            rows,
+            title="Ablation — feedback interval length (Section 4.1)",
+        )
+    )

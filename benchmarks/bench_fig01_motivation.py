@@ -1,0 +1,58 @@
+"""Figure 1 — motivation for LDS prefetching.
+
+Top: speedup of the aggressive stream prefetcher over no prefetching, and
+the fraction of last-level cache misses it covers.  Bottom: potential
+speedup if all LDS misses were ideally converted to hits (the oracle).
+
+Paper reference points: the stream prefetcher helps a handful of
+benchmarks strongly but covers <20 % of misses on the eight LDS-bound
+ones; ideal LDS prefetching gains 53.7 % on average (37.7 % w/o health).
+"""
+
+from _common import BENCHES, CONFIG, run_once
+
+from repro.experiments.metrics import geomean
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_benchmark
+
+
+def compute():
+    rows = []
+    ratios_stream, ratios_oracle = [], []
+    for bench in BENCHES:
+        none = run_benchmark(bench, "no-prefetch", CONFIG)
+        base = run_benchmark(bench, "baseline", CONFIG)
+        oracle = run_benchmark(bench, "oracle-lds", CONFIG)
+        stream_speedup = base.ipc / none.ipc
+        oracle_speedup = oracle.ipc / base.ipc
+        ratios_stream.append(stream_speedup)
+        ratios_oracle.append(oracle_speedup)
+        rows.append(
+            (
+                bench,
+                f"{(stream_speedup - 1) * 100:+.1f}%",
+                f"{base.coverage('stream') * 100:.0f}%",
+                f"{(oracle_speedup - 1) * 100:+.1f}%",
+            )
+        )
+    rows.append(
+        (
+            "gmean",
+            f"{(geomean(ratios_stream) - 1) * 100:+.1f}%",
+            "",
+            f"{(geomean(ratios_oracle) - 1) * 100:+.1f}%",
+        )
+    )
+    return rows
+
+
+def bench_fig01_motivation(benchmark, show):
+    rows = run_once(benchmark, compute)
+    show(
+        format_table(
+            ["benchmark", "stream speedup", "stream coverage",
+             "ideal-LDS speedup over stream"],
+            rows,
+            title="Figure 1 — stream prefetcher benefit and ideal LDS potential",
+        )
+    )

@@ -1,0 +1,61 @@
+"""Figure 2 + Table 1 — the original CDP's cost.
+
+Adding greedy CDP to the stream-prefetcher baseline: IPC (normalized) and
+BPKI per benchmark, plus CDP's prefetch accuracy (Table 1).
+
+Paper reference points: average IPC -14 %, bandwidth +83.3 %; accuracy
+1.4 % on mcf/mst vs 83.3 % on perimeter; big losers mcf, xalancbmk,
+bisort, mst.
+"""
+
+from _common import BENCHES, CONFIG, run_once
+
+from repro.experiments.metrics import (
+    bpki_delta_percent,
+    geomean,
+    ipc_delta_percent,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_benchmark
+
+
+def compute():
+    rows = []
+    ratios = []
+    bpki_deltas = []
+    for bench in BENCHES:
+        base = run_benchmark(bench, "baseline", CONFIG)
+        cdp = run_benchmark(bench, "cdp", CONFIG)
+        ratios.append(cdp.ipc / base.ipc)
+        bpki_deltas.append(bpki_delta_percent(cdp, base))
+        rows.append(
+            (
+                bench,
+                f"{cdp.ipc / base.ipc:.2f}",
+                f"{ipc_delta_percent(cdp, base):+.1f}%",
+                f"{bpki_delta_percent(cdp, base):+.1f}%",
+                f"{cdp.accuracy('cdp') * 100:.1f}%",
+            )
+        )
+    rows.append(
+        (
+            "mean",
+            f"{geomean(ratios):.2f}",
+            f"{(geomean(ratios) - 1) * 100:+.1f}%",
+            f"{sum(bpki_deltas) / len(bpki_deltas):+.1f}%",
+            "",
+        )
+    )
+    return rows
+
+
+def bench_fig02_original_cdp(benchmark, show):
+    rows = run_once(benchmark, compute)
+    show(
+        format_table(
+            ["benchmark", "IPC vs baseline", "dIPC", "dBPKI",
+             "CDP accuracy (Table 1)"],
+            rows,
+            title="Figure 2 / Table 1 — original content-directed prefetching",
+        )
+    )

@@ -1,0 +1,41 @@
+"""Figure 4 — beneficial vs harmful pointer groups per benchmark.
+
+The profiling compiler classifies each PG by whether the majority of its
+prefetches (including recursive ones) were useful.  The paper's point:
+many benchmarks (astar, omnetpp, bisort, mst) have a large harmful
+fraction — which is exactly what greedy CDP ignores.
+"""
+
+from _common import BENCHES, CONFIG, run_once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import profile_benchmark
+
+
+def compute():
+    rows = []
+    for bench in BENCHES:
+        profile = profile_benchmark(bench, CONFIG)
+        total = len(profile)
+        beneficial = len(profile.beneficial_keys())
+        rows.append(
+            (
+                bench,
+                total,
+                beneficial,
+                total - beneficial,
+                f"{profile.beneficial_fraction() * 100:.0f}%",
+            )
+        )
+    return rows
+
+
+def bench_fig04_pg_breakdown(benchmark, show):
+    rows = run_once(benchmark, compute)
+    show(
+        format_table(
+            ["benchmark", "PGs", "beneficial", "harmful", "beneficial %"],
+            rows,
+            title="Figure 4 — pointer-group breakdown (train-input profile)",
+        )
+    )

@@ -1,0 +1,73 @@
+"""Figure 7 + Table 6 — the headline result.
+
+IPC and BPKI for the four mechanisms over the stream-prefetcher baseline:
+original CDP, ECDP, CDP + coordinated throttling, and the full proposal
+(ECDP + coordinated throttling).
+
+Paper reference points (Table 6): the full proposal gains 22.5 % IPC
+(16 % w/o health) while cutting BPKI 25 % (27.1 % w/o health); original
+CDP loses 14 %; ECDP alone +8.6 %; throttling alone +9.4 %.  The expected
+*shape*: ecdp+throttle strictly best on both axes, CDP strictly worst,
+and the combination exceeding each part alone.
+"""
+
+from _common import BENCHES, CONFIG, run_once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_benchmark
+from repro.experiments.suites import summary_line
+
+MECHANISMS = ["cdp", "ecdp", "cdp+throttle", "ecdp+throttle"]
+
+
+def compute():
+    baselines = {b: run_benchmark(b, "baseline", CONFIG) for b in BENCHES}
+    per_mechanism = {
+        mech: {b: run_benchmark(b, mech, CONFIG) for b in BENCHES}
+        for mech in MECHANISMS
+    }
+    rows = []
+    for bench in BENCHES:
+        base = baselines[bench]
+        cells = [bench]
+        for mech in MECHANISMS:
+            result = per_mechanism[mech][bench]
+            cells.append(
+                f"{(result.ipc / base.ipc - 1) * 100:+.1f}/"
+                f"{(result.bpki / base.bpki - 1) * 100 if base.bpki else 0:+.0f}"
+            )
+        rows.append(cells)
+    summaries = {
+        mech: summary_line(per_mechanism[mech], baselines)
+        for mech in MECHANISMS
+    }
+    for mech in MECHANISMS:
+        s = summaries[mech]
+        rows.append(
+            [
+                f"[{mech}]",
+                f"gmean {s['gmean_ipc_pct']:+.1f}%",
+                f"(no-health {s['gmean_ipc_pct_no_health']:+.1f}%)",
+                f"BPKI {s['mean_bpki_pct']:+.1f}%",
+                f"(no-health {s['mean_bpki_pct_no_health']:+.1f}%)",
+            ]
+        )
+    return rows, summaries
+
+
+def bench_fig07_headline(benchmark, show):
+    rows, summaries = run_once(benchmark, compute)
+    show(
+        format_table(
+            ["benchmark"] + [f"{m} dIPC%/dBPKI%" for m in MECHANISMS],
+            rows,
+            title="Figure 7 / Table 6 — IPC and BPKI vs stream baseline",
+        )
+    )
+    # The paper's headline ordering must hold.
+    ours = summaries["ecdp+throttle"]
+    assert ours["gmean_ipc_pct"] > summaries["ecdp"]["gmean_ipc_pct"]
+    assert ours["gmean_ipc_pct"] > summaries["cdp+throttle"]["gmean_ipc_pct"]
+    assert ours["gmean_ipc_pct"] > 0
+    assert ours["mean_bpki_pct"] < 0
+    assert summaries["cdp"]["gmean_ipc_pct"] < 0

@@ -1,0 +1,65 @@
+"""Figure 8 — prefetcher accuracy under each mechanism.
+
+Top: CDP accuracy (original CDP, ECDP, ECDP+throttling).  Bottom: stream
+prefetcher accuracy (baseline, +CDP, +ECDP, +ECDP+throttling).
+
+Paper reference points: ECDP with throttling raises CDP accuracy 129 %
+and stream accuracy 28 % relative to stream+original-CDP; health is the
+noted exception on the stream side.
+"""
+
+from _common import BENCHES, CONFIG, run_once
+
+from repro.experiments.reporting import format_table, side_by_side
+from repro.experiments.runner import run_benchmark
+
+CDP_MECHS = ["cdp", "ecdp", "ecdp+throttle"]
+STREAM_MECHS = ["baseline", "cdp", "ecdp", "ecdp+throttle"]
+
+
+def compute():
+    cdp_rows, stream_rows = [], []
+    totals = {m: [0, 0] for m in CDP_MECHS}  # [used, issued] across suite
+    for bench in BENCHES:
+        cdp_cells = [bench]
+        for mech in CDP_MECHS:
+            result = run_benchmark(bench, mech, CONFIG)
+            stats = result.prefetchers["cdp"]
+            totals[mech][0] += stats.used
+            totals[mech][1] += stats.issued
+            cdp_cells.append(
+                f"{stats.accuracy * 100:.0f}%" if stats.issued else "-"
+            )
+        cdp_rows.append(cdp_cells)
+        stream_cells = [bench]
+        for mech in STREAM_MECHS:
+            result = run_benchmark(bench, mech, CONFIG)
+            stream_cells.append(f"{result.accuracy('stream') * 100:.0f}%")
+        stream_rows.append(stream_cells)
+    # Suite-level accuracy = total used / total issued.  A per-benchmark
+    # arithmetic mean would treat "ECDP filtered this benchmark to
+    # silence" (0 issued) as accuracy 0, which is the opposite of what
+    # happened.  '-' cells in the table mark exactly those benchmarks.
+    cdp_rows.append(
+        ["suite (used/issued)"]
+        + [
+            f"{totals[m][0] / totals[m][1] * 100:.0f}%" if totals[m][1] else "-"
+            for m in CDP_MECHS
+        ]
+    )
+    return cdp_rows, stream_rows, totals
+
+
+def bench_fig08_accuracy(benchmark, show):
+    cdp_rows, stream_rows, totals = run_once(benchmark, compute)
+    left = format_table(
+        ["benchmark"] + CDP_MECHS, cdp_rows, title="CDP accuracy"
+    )
+    right = format_table(
+        ["benchmark"] + STREAM_MECHS, stream_rows, title="Stream accuracy"
+    )
+    show("Figure 8 — prefetcher accuracy\n" + side_by_side(left, right))
+    # Shape: our techniques raise suite-level CDP accuracy over greedy CDP.
+    greedy = totals["cdp"][0] / totals["cdp"][1]
+    ours = totals["ecdp+throttle"][0] / totals["ecdp+throttle"][1]
+    assert ours > greedy

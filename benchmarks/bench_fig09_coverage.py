@@ -1,0 +1,43 @@
+"""Figure 9 — prefetcher coverage under each mechanism.
+
+Paper reference points: ECDP with throttling *slightly reduces* average
+coverage of both prefetchers — the stated price of the accuracy gains
+("the loss in coverage is the price paid for the increase in accuracy").
+ECDP improves CDP coverage on art/health/perimeter/pfast by removing
+polluting prefetches.
+"""
+
+from _common import BENCHES, CONFIG, run_once
+
+from repro.experiments.reporting import format_table, side_by_side
+from repro.experiments.runner import run_benchmark
+
+CDP_MECHS = ["cdp", "ecdp", "ecdp+throttle"]
+STREAM_MECHS = ["baseline", "cdp", "ecdp", "ecdp+throttle"]
+
+
+def compute():
+    cdp_rows, stream_rows = [], []
+    for bench in BENCHES:
+        cdp_cells = [bench]
+        for mech in CDP_MECHS:
+            result = run_benchmark(bench, mech, CONFIG)
+            cdp_cells.append(f"{result.coverage('cdp') * 100:.0f}%")
+        cdp_rows.append(cdp_cells)
+        stream_cells = [bench]
+        for mech in STREAM_MECHS:
+            result = run_benchmark(bench, mech, CONFIG)
+            stream_cells.append(f"{result.coverage('stream') * 100:.0f}%")
+        stream_rows.append(stream_cells)
+    return cdp_rows, stream_rows
+
+
+def bench_fig09_coverage(benchmark, show):
+    cdp_rows, stream_rows = run_once(benchmark, compute)
+    left = format_table(
+        ["benchmark"] + CDP_MECHS, cdp_rows, title="CDP coverage"
+    )
+    right = format_table(
+        ["benchmark"] + STREAM_MECHS, stream_rows, title="Stream coverage"
+    )
+    show("Figure 9 — prefetcher coverage\n" + side_by_side(left, right))

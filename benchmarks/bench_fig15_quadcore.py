@@ -1,0 +1,78 @@
+"""Figure 15 — 4-core case studies.
+
+The paper's four workload case studies: one all-pointer-intensive mix,
+two mixed, one mostly non-intensive.
+
+Paper reference points: +9.5 % weighted speedup / +9.7 % hmean speedup,
+-15.3 % bus traffic on average; benefits concentrate in the
+pointer-intensive mixes.
+"""
+
+from _common import CONFIG, run_once
+
+from repro.experiments.metrics import (
+    hmean_speedup,
+    total_bus_traffic_per_ki,
+    weighted_speedup,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_benchmark, run_multicore
+
+MIXES = [
+    ("mcf", "astar", "health", "mst"),            # 4 pointer-intensive
+    ("xalancbmk", "ammp", "libquantum", "milc"),  # mixed
+    ("omnetpp", "pfast", "GemsFDTD", "bwaves"),   # mixed
+    ("perlbench", "h264ref", "sjeng", "bwaves"),  # mostly non-intensive
+]
+
+
+def compute():
+    rows = []
+    ws_gains, hs_gains, bus_deltas = [], [], []
+    for mix in MIXES:
+        alone = [run_benchmark(b, "baseline", CONFIG) for b in mix]
+        shared_base = run_multicore(list(mix), "baseline", CONFIG)
+        shared_ours = run_multicore(list(mix), "ecdp+throttle", CONFIG)
+        ws = (
+            weighted_speedup(shared_ours, alone)
+            / weighted_speedup(shared_base, alone)
+            - 1
+        ) * 100
+        hs = (
+            hmean_speedup(shared_ours, alone)
+            / hmean_speedup(shared_base, alone)
+            - 1
+        ) * 100
+        bus_base = total_bus_traffic_per_ki(shared_base)
+        bus = (
+            (total_bus_traffic_per_ki(shared_ours) / bus_base - 1) * 100
+            if bus_base
+            else 0.0
+        )
+        ws_gains.append(ws)
+        hs_gains.append(hs)
+        bus_deltas.append(bus)
+        rows.append(("+".join(mix), f"{ws:+.1f}%", f"{hs:+.1f}%", f"{bus:+.1f}%"))
+    rows.append(
+        (
+            "mean",
+            f"{sum(ws_gains) / 4:+.1f}%",
+            f"{sum(hs_gains) / 4:+.1f}%",
+            f"{sum(bus_deltas) / 4:+.1f}%",
+        )
+    )
+    return rows, ws_gains
+
+
+def bench_fig15_quadcore(benchmark, show):
+    rows, ws_gains = run_once(benchmark, compute)
+    show(
+        format_table(
+            ["mix", "dWS", "dHS", "dBus"],
+            rows,
+            title="Figure 15 — 4-core weighted/hmean speedup and bus traffic",
+        )
+    )
+    assert sum(ws_gains) / len(ws_gains) > 0
+    # Pointer-intensive mix gains at least as much as the non-intensive one.
+    assert ws_gains[0] >= ws_gains[3] - 1.0

@@ -1,0 +1,44 @@
+"""Table 7 — hardware storage cost of the proposal, and the Section
+6.3/7.3 cost comparison against other LDS prefetchers.
+
+Paper reference points: 17296 bits = 2.11 KB total (0.206 % of the 1 MB
+L2); only 912 bits if the prefetched bits already exist; Markov needs
+1 MB, GHB 12 KB, DBP ~3 KB, the pointer cache 1.1 MB.
+"""
+
+from _common import CONFIG, run_once
+
+from repro.core.config import SystemConfig
+from repro.cost.hardware import baseline_costs, proposal_cost
+from repro.experiments.reporting import format_table
+
+
+def compute():
+    paper_config = SystemConfig.paper()
+    report = proposal_cost(paper_config)
+    lines = [(line.description, line.bits) for line in report.lines]
+    lines.append(("total", report.total_bits))
+    comparison = sorted(
+        baseline_costs(paper_config).items(), key=lambda kv: kv[1]
+    )
+    return report, lines, comparison
+
+
+def bench_table7_cost(benchmark, show):
+    report, lines, comparison = run_once(benchmark, compute)
+    show(
+        format_table(
+            ["component", "bits"],
+            lines,
+            title="Table 7 — hardware cost of ECDP + coordinated throttling",
+        )
+        + f"\n  = {report.total_kilobytes:.2f} KB "
+        f"({report.area_overhead_vs_l2(SystemConfig.paper().l2_size) * 100:.3f}% "
+        "of the 1 MB L2)\n\n"
+        + format_table(
+            ["prefetcher", "storage (KB)"],
+            [(name, f"{kb:.2f}") for name, kb in comparison],
+            title="Section 6.3/7.3 — storage comparison",
+        )
+    )
+    assert report.total_bits == 17296  # Table 7, to the bit

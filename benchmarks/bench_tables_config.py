@@ -1,0 +1,89 @@
+"""Tables 2, 3, 4 and 5 — the configuration the whole evaluation runs on.
+
+These are constants, not measurements; the bench prints them so a reader
+can diff our implementation's parameters against the paper's tables
+directly, and asserts the paper values are encoded exactly.
+"""
+
+from _common import run_once
+
+from repro.core.config import SystemConfig
+from repro.experiments.reporting import format_table
+from repro.prefetch.cdp import CDP_LEVELS
+from repro.prefetch.stream import STREAM_LEVELS
+from repro.throttle.levels import DEFAULT_THRESHOLDS, LEVEL_NAMES
+
+
+def compute():
+    table2 = [
+        (LEVEL_NAMES[i], STREAM_LEVELS[i][0], STREAM_LEVELS[i][1], CDP_LEVELS[i])
+        for i in range(4)
+    ]
+    table3 = [
+        (1, "High", "-", "-", "Throttle Up"),
+        (2, "Low", "Low", "-", "Throttle Down"),
+        (3, "Low", "Medium or High", "Low", "Throttle Up"),
+        (4, "Low", "Low or Medium", "High", "Throttle Down"),
+        (5, "Low", "High", "High", "Do Nothing"),
+    ]
+    table4 = [
+        (DEFAULT_THRESHOLDS.t_coverage, DEFAULT_THRESHOLDS.a_low,
+         DEFAULT_THRESHOLDS.a_high)
+    ]
+    paper = SystemConfig.paper()
+    table5 = [
+        ("issue width", paper.issue_width),
+        ("ROB entries", paper.rob_size),
+        ("L1 D-cache", f"{paper.l1_size // 1024}KB {paper.l1_ways}-way"),
+        ("L2 cache", f"{paper.l2_size // 1024}KB {paper.l2_ways}-way, "
+                     f"{paper.l2_latency}-cycle, {paper.block_size}B lines, "
+                     f"{paper.l2_mshrs} MSHRs"),
+        ("memory latency (min)", f"{paper.min_memory_latency:.0f} cycles"),
+        ("DRAM banks", paper.dram_banks),
+        ("bus", f"{paper.bus_bytes_per_cycle}B wide at "
+                f"{paper.bus_frequency_ratio}:1 ratio"),
+        ("streams", paper.stream_count),
+        ("prefetch queue", paper.prefetch_queue_size),
+        ("request buffer / core", paper.request_buffer_per_core),
+        ("CDP compare bits", paper.cdp_compare_bits),
+        ("feedback interval", f"{paper.interval_evictions} L2 evictions"),
+    ]
+    return table2, table3, table4, table5
+
+
+def bench_tables_config(benchmark, show):
+    table2, table3, table4, table5 = run_once(benchmark, compute)
+    show(
+        format_table(
+            ["level", "stream distance", "stream degree", "CDP max depth"],
+            table2,
+            title="Table 2 — prefetcher aggressiveness configurations",
+        )
+        + "\n\n"
+        + format_table(
+            ["case", "own coverage", "own accuracy", "rival coverage",
+             "decision"],
+            table3,
+            title="Table 3 — coordinated throttling heuristics",
+        )
+        + "\n\n"
+        + format_table(
+            ["T_coverage", "A_low", "A_high"],
+            table4,
+            title="Table 4 — thresholds",
+        )
+        + "\n\n"
+        + format_table(
+            ["parameter", "value"],
+            table5,
+            title="Table 5 — baseline processor configuration (paper preset)",
+        )
+    )
+    assert table2 == [
+        ("Very Conservative", 4, 1, 1),
+        ("Conservative", 8, 1, 2),
+        ("Moderate", 16, 2, 3),
+        ("Aggressive", 32, 4, 4),
+    ]
+    assert table4 == [(0.2, 0.4, 0.7)]
+    assert SystemConfig.paper().min_memory_latency == 450

@@ -1,0 +1,19 @@
+"""Fixtures for the figure/table regeneration benches.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a rendered figure even under pytest's output capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text + "\n")
+
+    return _show

@@ -1,0 +1,13 @@
+"""Cache hierarchy: blocks, set-associative arrays, MSHRs."""
+
+from repro.cache.block import CacheBlock
+from repro.cache.mshr import MshrEntry, MshrFile
+from repro.cache.set_assoc import CacheStats, SetAssociativeCache
+
+__all__ = [
+    "CacheBlock",
+    "CacheStats",
+    "MshrEntry",
+    "MshrFile",
+    "SetAssociativeCache",
+]

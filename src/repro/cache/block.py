@@ -1,0 +1,40 @@
+"""Cache block metadata.
+
+Each tag entry carries one *prefetched* bit per prefetcher (paper Section
+4.1: ``prefetched-CDP`` and ``prefetched-stream``) so that demand hits can
+credit the owning prefetcher's ``total-used`` counter.  Blocks also record a
+``fill_time``: blocks are inserted at request time and a demand hit before
+``fill_time`` models an MSHR merge with the in-flight fill (the demand
+completes when the fill arrives — a *late* prefetch in FDP's terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class CacheBlock:
+    """Tag-array state for one resident cache block."""
+
+    addr: int  # block-aligned base address
+    fill_time: float = 0.0  # cycle at which data actually arrives
+    dirty: bool = False
+    prefetch_owner: Optional[str] = None  # which prefetcher brought it, if any
+    demand_pc: int = 0  # PC of the demand load that fetched it (diagnostics)
+
+    @property
+    def was_prefetched(self) -> bool:
+        return self.prefetch_owner is not None
+
+    def mark_used(self) -> Optional[str]:
+        """Demand request touches this block: clear and return owner.
+
+        Mirrors the paper's rule: "When a demand request accesses a
+        prefetched cache block, the total-used counter is incremented and
+        both prefetched bits are reset."
+        """
+        owner = self.prefetch_owner
+        self.prefetch_owner = None
+        return owner

@@ -1,0 +1,97 @@
+"""Miss Status Holding Registers.
+
+The MSHR file bounds how many misses a core can have outstanding (which is
+what caps memory-level parallelism in the timing model) and is where the
+hint bit vector of the missing load is parked until its fill returns so the
+content-directed prefetcher can filter the block scan (paper Table 7 charges
+``32 entries x (7 + 16 bits)`` for exactly this storage).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MshrEntry:
+    """One outstanding miss: where it is going and what it carries."""
+
+    block_addr: int
+    completion: float
+    is_demand: bool
+    pc: int = 0  # missing load's PC (demand misses only)
+    block_offset: int = 0  # byte offset the load accessed within the block
+
+
+class MshrFile:
+    """Tracks outstanding misses with a hard capacity.
+
+    Entries retire lazily: callers advance time with :meth:`expire` before
+    asking for occupancy.  ``allocate`` refuses when full — the core model
+    turns that into a dispatch stall, and the prefetch path turns it into a
+    dropped prefetch.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._heap: List[Tuple[float, int]] = []  # (completion, block_addr)
+        self._entries: dict = {}  # block_addr -> MshrEntry
+
+    def expire(self, now: float) -> None:
+        """Retire entries whose fills have arrived by *now*."""
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            __, block_addr = heapq.heappop(heap)
+            entry = self._entries.get(block_addr)
+            # The heap can hold stale keys after re-allocation; only drop
+            # the entry if this pop corresponds to its current completion.
+            if entry is not None and entry.completion <= now:
+                del self._entries[block_addr]
+
+    def occupancy(self, now: float) -> int:
+        self.expire(now)
+        return len(self._entries)
+
+    def is_full(self, now: float) -> bool:
+        return self.occupancy(now) >= self.capacity
+
+    def lookup(self, block_addr: int) -> Optional[MshrEntry]:
+        """Return the in-flight entry for *block_addr*, if any."""
+        return self._entries.get(block_addr)
+
+    def earliest_completion(self) -> Optional[float]:
+        """Completion time of the oldest in-flight miss (None if idle)."""
+        while self._heap:
+            completion, block_addr = self._heap[0]
+            entry = self._entries.get(block_addr)
+            if entry is not None and entry.completion == completion:
+                return completion
+            heapq.heappop(self._heap)  # stale
+        return None
+
+    def allocate(
+        self,
+        now: float,
+        block_addr: int,
+        completion: float,
+        is_demand: bool,
+        pc: int = 0,
+        block_offset: int = 0,
+    ) -> bool:
+        """Try to allocate an entry; False when the file is full.
+
+        A request to a block already in flight merges (no new entry).
+        """
+        self.expire(now)
+        if block_addr in self._entries:
+            return True
+        if len(self._entries) >= self.capacity:
+            return False
+        entry = MshrEntry(block_addr, completion, is_demand, pc, block_offset)
+        self._entries[block_addr] = entry
+        heapq.heappush(self._heap, (completion, block_addr))
+        return True

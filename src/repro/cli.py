@@ -1,0 +1,335 @@
+"""Command-line interface: run paper experiments without writing Python.
+
+Examples::
+
+    python -m repro list
+    python -m repro run health ecdp+throttle
+    python -m repro compare mst
+    python -m repro sweep --mechanisms cdp ecdp+throttle --benchmarks mcf mst
+    python -m repro profile mst --top 12
+    python -m repro multicore xalancbmk astar --mechanism ecdp+throttle
+    python -m repro cost
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import SystemConfig
+from repro.cost.hardware import baseline_costs, proposal_cost
+from repro.experiments.configs import MECHANISMS
+from repro.experiments.metrics import (
+    geomean,
+    hmean_speedup,
+    total_bus_traffic_per_ki,
+    weighted_speedup,
+)
+from repro.experiments.export import result_record, write_csv, write_json
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    profile_benchmark,
+    run_benchmark,
+    run_multicore,
+)
+from repro.workloads.registry import (
+    all_names,
+    non_pointer_names,
+    pointer_intensive_names,
+)
+
+
+def _config(args) -> SystemConfig:
+    return SystemConfig.paper() if args.paper else SystemConfig.scaled()
+
+
+def _result_row(name: str, result, baseline=None) -> List[str]:
+    delta = (
+        f"{(result.ipc / baseline.ipc - 1) * 100:+.1f}%" if baseline else "-"
+    )
+    return [
+        name,
+        f"{result.ipc:.3f}",
+        delta,
+        f"{result.bpki:.1f}",
+        f"{result.accuracy('cdp') * 100:.0f}%",
+        f"{result.coverage('cdp') * 100:.0f}%",
+        f"{result.accuracy('stream') * 100:.0f}%",
+        f"{result.coverage('stream') * 100:.0f}%",
+    ]
+
+
+RESULT_HEADERS = [
+    "", "IPC", "dIPC", "BPKI",
+    "cdp acc", "cdp cov", "stream acc", "stream cov",
+]
+
+
+def cmd_list(args) -> int:
+    print("pointer-intensive benchmarks (the paper's evaluation set):")
+    print("  " + " ".join(pointer_intensive_names()))
+    print("non-pointer-intensive benchmarks (Section 6.7 / multicore mixes):")
+    print("  " + " ".join(non_pointer_names()))
+    print("mechanisms:")
+    for name, mech in MECHANISMS.items():
+        parts = []
+        if mech.stream:
+            parts.append("stream")
+        if mech.correlation != "none":
+            parts.append(mech.correlation)
+        if mech.cdp:
+            parts.append("cdp" if mech.hints == "none" else f"cdp[{mech.hints}]")
+        if mech.hw_filter:
+            parts.append("hwfilter")
+        if mech.oracle_lds:
+            parts.append("oracle")
+        throttle = "" if mech.throttle == "none" else f" / {mech.throttle}"
+        print(f"  {name:20s} {'+'.join(parts) or '(none)'}{throttle}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _config(args)
+    result = run_benchmark(
+        args.benchmark, args.mechanism, config, input_set=args.input_set
+    )
+    baseline = None
+    if args.mechanism != "baseline":
+        baseline = run_benchmark(
+            args.benchmark, "baseline", config, input_set=args.input_set
+        )
+    print(
+        format_table(
+            RESULT_HEADERS,
+            [_result_row(args.mechanism, result, baseline)],
+            title=f"{args.benchmark} ({args.input_set})",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = _config(args)
+    mechanisms = args.mechanisms or [
+        "no-prefetch", "baseline", "cdp", "ecdp",
+        "cdp+throttle", "ecdp+throttle", "oracle-lds",
+    ]
+    baseline = run_benchmark(args.benchmark, "baseline", config,
+                             input_set=args.input_set)
+    rows = []
+    for mechanism in mechanisms:
+        result = run_benchmark(args.benchmark, mechanism, config,
+                               input_set=args.input_set)
+        rows.append(_result_row(mechanism, result, baseline))
+    print(
+        format_table(
+            RESULT_HEADERS, rows,
+            title=f"{args.benchmark} ({args.input_set})",
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    config = _config(args)
+    benchmarks = args.benchmarks or pointer_intensive_names()
+    mechanisms = args.mechanisms or ["cdp", "ecdp", "ecdp+throttle"]
+    export_records = []
+    baselines = {
+        b: run_benchmark(b, "baseline", config, input_set=args.input_set)
+        for b in benchmarks
+    }
+    rows = []
+    for bench in benchmarks:
+        cells = [bench]
+        export_records.append(
+            result_record(bench, "baseline", baselines[bench])
+        )
+        for mechanism in mechanisms:
+            result = run_benchmark(bench, mechanism, config,
+                                   input_set=args.input_set)
+            export_records.append(result_record(bench, mechanism, result))
+            base = baselines[bench]
+            bpki = (result.bpki / base.bpki - 1) * 100 if base.bpki else 0.0
+            cells.append(
+                f"{(result.ipc / base.ipc - 1) * 100:+.1f}/{bpki:+.0f}"
+            )
+        rows.append(cells)
+    summary = ["gmean"]
+    for mechanism in mechanisms:
+        ratios = [
+            run_benchmark(b, mechanism, config, input_set=args.input_set).ipc
+            / baselines[b].ipc
+            for b in benchmarks
+        ]
+        summary.append(f"{(geomean(ratios) - 1) * 100:+.1f}%")
+    rows.append(summary)
+    print(
+        format_table(
+            ["benchmark"] + [f"{m} dIPC%/dBPKI%" for m in mechanisms],
+            rows,
+            title="sweep vs stream baseline",
+        )
+    )
+    if args.export:
+        if args.export.endswith(".json"):
+            write_json(args.export, export_records)
+        else:
+            write_csv(args.export, export_records)
+        print(f"wrote {len(export_records)} records to {args.export}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    config = _config(args)
+    profile = profile_benchmark(args.benchmark, config,
+                                input_set=args.input_set)
+    ranked = sorted(profile.items(), key=lambda kv: -kv[1].issued)
+    rows = [
+        (
+            hex(pc),
+            f"{delta:+d}",
+            stats.issued,
+            stats.useful,
+            f"{stats.usefulness * 100:.0f}%",
+            "beneficial" if stats.is_beneficial else "harmful",
+        )
+        for (pc, delta), stats in ranked[: args.top]
+    ]
+    print(
+        format_table(
+            ["load pc", "offset", "issued", "useful", "usefulness", "class"],
+            rows,
+            title=(
+                f"{args.benchmark} pointer groups "
+                f"({len(profile)} total, "
+                f"{len(profile.beneficial_keys())} beneficial)"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_multicore(args) -> int:
+    config = _config(args)
+    alone = [
+        run_benchmark(b, "baseline", config, input_set=args.input_set)
+        for b in args.benchmarks
+    ]
+    rows = []
+    for mechanism in ("baseline", args.mechanism):
+        shared = run_multicore(args.benchmarks, mechanism, config,
+                               input_set=args.input_set)
+        rows.append(
+            (
+                mechanism,
+                f"{weighted_speedup(shared, alone):.3f}",
+                f"{hmean_speedup(shared, alone):.3f}",
+                f"{total_bus_traffic_per_ki(shared):.1f}",
+            )
+        )
+    print(
+        format_table(
+            ["mechanism", "weighted speedup", "hmean speedup", "bus/KI"],
+            rows,
+            title=f"{len(args.benchmarks)}-core: {' + '.join(args.benchmarks)}",
+        )
+    )
+    return 0
+
+
+def cmd_cost(args) -> int:
+    config = SystemConfig.paper() if args.paper else SystemConfig.scaled()
+    report = proposal_cost(config)
+    rows = [(line.description, line.bits) for line in report.lines]
+    rows.append(("total", report.total_bits))
+    print(
+        format_table(
+            ["component", "bits"], rows,
+            title="hardware cost (Table 7 accounting)",
+        )
+    )
+    print(f"total: {report.total_kilobytes:.2f} KB")
+    print()
+    comparison = sorted(baseline_costs(config).items(), key=lambda kv: kv[1])
+    print(
+        format_table(
+            ["prefetcher", "KB"],
+            [(n, f"{kb:.2f}") for n, kb in comparison],
+            title="storage comparison (Sections 6.3/7.3)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "HPCA 2009 reproduction: bandwidth-efficient LDS prefetching "
+            "in hybrid prefetching systems"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--paper", action="store_true",
+                       help="use the paper-scale Table 5 configuration")
+        p.add_argument("--input-set", default="ref",
+                       choices=["ref", "train", "test"])
+
+    p = sub.add_parser("list", help="list benchmarks and mechanisms")
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser("run", help="run one benchmark under one mechanism")
+    p.add_argument("benchmark")
+    p.add_argument("mechanism")
+    common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="one benchmark across mechanisms")
+    p.add_argument("benchmark")
+    p.add_argument("--mechanisms", nargs="+")
+    common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="benchmark x mechanism table")
+    p.add_argument("--benchmarks", nargs="+")
+    p.add_argument("--mechanisms", nargs="+")
+    p.add_argument("--export", metavar="FILE.csv|FILE.json",
+                   help="dump raw per-run metrics")
+    common(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("profile", help="show a benchmark's pointer groups")
+    p.add_argument("benchmark")
+    p.add_argument("--top", type=int, default=16)
+    common(p)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("multicore", help="run a multiprogrammed mix")
+    p.add_argument("benchmarks", nargs="+")
+    p.add_argument("--mechanism", default="ecdp+throttle")
+    common(p)
+    p.set_defaults(func=cmd_multicore)
+
+    p = sub.add_parser("cost", help="print the Table 7 hardware cost model")
+    p.add_argument("--paper", action="store_true")
+    p.set_defaults(func=cmd_cost)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Compiler side of ECDP: pointer-group profiling and hint generation."""
+
+from repro.compiler.hints import CoarseLoadFilter, HintTable, HintVector
+from repro.compiler.informing import PgObserver, profile_with_informing_loads
+from repro.compiler.pointer_group import (
+    BENEFICIAL_THRESHOLD,
+    PGKey,
+    PointerGroupProfile,
+    PointerGroupStats,
+)
+from repro.compiler.profiler import (
+    FunctionalCdpSimulator,
+    ProfilerConfig,
+    profile_trace,
+)
+
+__all__ = [
+    "BENEFICIAL_THRESHOLD",
+    "CoarseLoadFilter",
+    "PgObserver",
+    "profile_with_informing_loads",
+    "FunctionalCdpSimulator",
+    "HintTable",
+    "HintVector",
+    "PGKey",
+    "PointerGroupProfile",
+    "PointerGroupStats",
+    "ProfilerConfig",
+    "profile_trace",
+]

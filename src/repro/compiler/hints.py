@@ -1,0 +1,140 @@
+"""Hint bit vectors: how the compiler tells CDP which pointers to prefetch.
+
+Paper Section 3 / Figure 6: each static load carries a bit vector with one
+bit per possible 4-byte pointer slot in a cache block; bit n set means the
+PG at byte offset ``4*n`` from the accessed address is beneficial.  Negative
+offsets get a second vector (paper footnote 6).  The vectors ride on the
+load instruction (a new ISA encoding) and are parked in the MSHR while the
+miss is outstanding — we model the information content, not the encoding.
+
+This module also provides the two coarse-grained alternatives the paper
+compares against:
+
+* GRP-style (Wang et al., ISCA-30): one enable bit per load — all pointers
+  in blocks fetched by that load are prefetched, or none (paper Section 7.1).
+* Srinivasan-style static filter: choose which *loads* may initiate
+  prefetches at all, again one bit per load (paper Section 7.2).
+
+Both collapse every PG of a load into one decision, which is exactly why
+the paper finds them nearly useless for CDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.compiler.pointer_group import PointerGroupProfile
+from repro.memory.address import WORD_SIZE
+
+
+@dataclass(frozen=True)
+class HintVector:
+    """Positive + negative offset bit vectors for one static load."""
+
+    positive: int = 0  # bit n -> byte offset +4n is beneficial
+    negative: int = 0  # bit n -> byte offset -4n is beneficial (n >= 1)
+
+    def allows(self, byte_delta: int) -> bool:
+        """Is the pointer at *byte_delta* from the accessed byte hinted?"""
+        if byte_delta % WORD_SIZE != 0:
+            return False
+        slot = byte_delta // WORD_SIZE
+        if slot >= 0:
+            return bool(self.positive >> slot & 1)
+        return bool(self.negative >> (-slot) & 1)
+
+    def with_offset(self, byte_delta: int) -> "HintVector":
+        """A copy with the bit for *byte_delta* set."""
+        if byte_delta % WORD_SIZE != 0:
+            raise ValueError("hint offsets must be word-aligned")
+        slot = byte_delta // WORD_SIZE
+        if slot >= 0:
+            return HintVector(self.positive | (1 << slot), self.negative)
+        return HintVector(self.positive, self.negative | (1 << -slot))
+
+    @property
+    def bit_count(self) -> int:
+        return bin(self.positive).count("1") + bin(self.negative).count("1")
+
+
+class HintTable:
+    """Per-static-load hint vectors, as produced by the profiling compiler.
+
+    ``default_allow`` controls loads the profiler never saw: False (the
+    default) means an unhinted load generates no CDP prefetches — matching
+    the paper's model where hints arrive via the load instruction itself
+    and unannotated loads are ordinary loads.
+    """
+
+    def __init__(self, default_allow: bool = False) -> None:
+        self._vectors: Dict[int, HintVector] = {}
+        self.default_allow = default_allow
+
+    @classmethod
+    def from_profile(
+        cls, profile: PointerGroupProfile, default_allow: bool = False
+    ) -> "HintTable":
+        """Set a hint bit for every beneficial PG in *profile*."""
+        table = cls(default_allow)
+        for pc, byte_delta in profile.beneficial_keys():
+            table.add_hint(pc, byte_delta)
+        return table
+
+    def add_hint(self, pc: int, byte_delta: int) -> None:
+        current = self._vectors.get(pc, HintVector())
+        self._vectors[pc] = current.with_offset(byte_delta)
+
+    def vector_for(self, pc: int) -> Optional[HintVector]:
+        return self._vectors.get(pc)
+
+    def allows(self, pc: int, byte_delta: int) -> bool:
+        """The ECDP hint filter (plugs into ContentDirectedPrefetcher)."""
+        vector = self._vectors.get(pc)
+        if vector is None:
+            return self.default_allow
+        return vector.allows(byte_delta)
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def total_hint_bits(self) -> int:
+        return sum(v.bit_count for v in self._vectors.values())
+
+
+class CoarseLoadFilter:
+    """GRP / Srinivasan-style per-load all-or-nothing control.
+
+    A load is *enabled* when the majority of all prefetches attributed to
+    any of its PGs were useful; then every pointer in its fetched blocks
+    is prefetched.  Disabled loads prefetch nothing.
+    """
+
+    def __init__(self, enabled_pcs: Dict[int, bool], default_allow: bool = False):
+        self._enabled = enabled_pcs
+        self.default_allow = default_allow
+
+    @classmethod
+    def from_profile(
+        cls, profile: PointerGroupProfile, default_allow: bool = False
+    ) -> "CoarseLoadFilter":
+        issued: Dict[int, int] = {}
+        useful: Dict[int, int] = {}
+        for (pc, __), stats in profile.items():
+            issued[pc] = issued.get(pc, 0) + stats.issued
+            useful[pc] = useful.get(pc, 0) + stats.useful
+        enabled = {
+            pc: (useful.get(pc, 0) > issued[pc] * 0.5)
+            for pc in issued
+            if issued[pc] > 0
+        }
+        return cls(enabled, default_allow)
+
+    def allows(self, pc: int, byte_delta: int) -> bool:
+        return self._enabled.get(pc, self.default_allow)
+
+    def enabled_count(self) -> int:
+        return sum(1 for enabled in self._enabled.values() if enabled)
+
+    def __len__(self) -> int:
+        return len(self._enabled)

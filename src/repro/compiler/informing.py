@@ -1,0 +1,86 @@
+"""Hardware-assisted profiling via informing memory operations.
+
+Paper Section 3 sketches a second profiling implementation: instead of
+the compiler simulating the cache hierarchy itself, "the target machine
+can provide support for profiling, e.g. using informing load operations
+[Horowitz et al.].  With this support, the compiler detects whether a
+load results in a hit or miss and whether the hit is due to a prefetch
+request.  During the profiling run, the compiler constructs the
+usefulness of each PG."
+
+This module implements that path: a :class:`PgObserver` taps the timing
+core's prefetch-issue / prefetch-use / eviction events, attributing every
+CDP prefetch (including recursive chains) to its root pointer group while
+the *real* pipeline — with all its timing, pollution and contention —
+runs.  The result is interchangeable with the functional profiler's
+:class:`~repro.compiler.pointer_group.PointerGroupProfile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.compiler.pointer_group import PGKey, PointerGroupProfile
+
+
+class PgObserver:
+    """Tracks per-PG prefetch outcomes from core-pipeline events."""
+
+    def __init__(self) -> None:
+        self.profile = PointerGroupProfile()
+        self._roots: Dict[int, PGKey] = {}  # in-cache prefetched block -> root
+
+    def on_issue(self, block_addr: int, root: Optional[PGKey],
+                 parent_addr: Optional[int] = None) -> Optional[PGKey]:
+        """A CDP prefetch was sent to memory.
+
+        ``root`` is the PG of a demand-scan request; recursive requests
+        pass None plus the parent block so the chain inherits its root.
+        Returns the resolved root (to stash in deferred-scan state).
+        """
+        if root is None and parent_addr is not None:
+            root = self._roots.get(parent_addr)
+        if root is None:
+            return None
+        self.profile.record_issue(root)
+        self._roots[block_addr] = root
+        return root
+
+    def on_use(self, block_addr: int) -> None:
+        """A demand access hit a CDP-prefetched block before eviction."""
+        root = self._roots.pop(block_addr, None)
+        if root is not None:
+            self.profile.record_use(root)
+
+    def on_evict(self, block_addr: int) -> None:
+        """A CDP-prefetched block left the cache (used or not)."""
+        self._roots.pop(block_addr, None)
+
+
+def profile_with_informing_loads(
+    benchmark: str,
+    config=None,
+    input_set: str = "train",
+) -> PointerGroupProfile:
+    """Profile *benchmark* by running the timed pipeline with greedy CDP.
+
+    Equivalent in role to
+    :func:`repro.experiments.runner.profile_benchmark` but measured with
+    informing loads on the real machine model, so PG usefulness reflects
+    timing effects (late prefetches that still arrive count as useful,
+    exactly as a hit-due-to-prefetch informing bit would report).
+    """
+    from repro.core.config import SystemConfig
+    from repro.experiments.configs import get_mechanism
+    from repro.experiments.runner import build_core, make_dram
+    from repro.workloads.registry import get_workload
+
+    config = config or SystemConfig.scaled()
+    instance = get_workload(benchmark).build(input_set)
+    core = build_core(
+        get_mechanism("cdp"), config, instance, make_dram(config), None
+    )
+    observer = PgObserver()
+    core.pg_observer = observer
+    core.run(instance.trace())
+    return observer.profile

@@ -1,0 +1,165 @@
+"""The profiling compiler pass (paper Section 3, "Profiling Implementation").
+
+We implement the paper's first sketch: the compiler profiles the program by
+simulating the cache hierarchy and the content-directed prefetcher of the
+target machine — *functionally*, with no timing — and measures, for every
+pointer group PG(L, X), what fraction of the prefetches it triggers
+(including recursive ones) are demanded before eviction.
+
+The result is a :class:`PointerGroupProfile`, from which
+:class:`~repro.compiler.hints.HintTable` derives the per-load hint bit
+vectors the hardware consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.compiler.pointer_group import PGKey, PointerGroupProfile
+from repro.core.instruction import MemOp
+from repro.memory.address import (
+    NULL_REGION_END,
+    WORD_SIZE,
+    block_address,
+    block_offset,
+    compare_bits_match,
+)
+from repro.memory.backing import SimulatedMemory
+
+
+@dataclass(frozen=True)
+class ProfilerConfig:
+    """Shape of the target machine's last-level cache and CDP."""
+
+    l2_size: int
+    l2_ways: int
+    block_size: int
+    compare_bits: int = 8
+    max_recursion_depth: int = 4
+    #: cap on prefetches per demand miss, mirroring the hardware's
+    #: per-core prefetch request queue (Table 5: 128 entries).  Keeps the
+    #: functional simulation from exploding on pointer-dense blocks.
+    chain_budget: int = 128
+
+
+class FunctionalCdpSimulator:
+    """Timing-free L2 + CDP simulation that attributes prefetch usefulness.
+
+    Every CDP prefetch — direct or recursive — is attributed to the *root*
+    pointer group that started its chain, matching the paper's definition
+    of "a PG's prefetches".  An optional ``hint_filter`` lets the same
+    engine measure post-ECDP PG usefulness (paper Figure 10, bottom).
+    """
+
+    def __init__(
+        self,
+        memory: SimulatedMemory,
+        config: ProfilerConfig,
+        hint_filter: Optional[Callable[[int, int], bool]] = None,
+    ) -> None:
+        self.memory = memory
+        self.config = config
+        self.hint_filter = hint_filter
+        self.cache = SetAssociativeCache(
+            config.l2_size, config.l2_ways, config.block_size, name="profile-l2"
+        )
+        self.profile = PointerGroupProfile()
+        # block_addr -> root PG for resident, not-yet-used prefetched blocks
+        self._prefetched_root: Dict[int, PGKey] = {}
+        self.cache.on_eviction = self._on_eviction
+        self.demand_misses = 0
+        self.demand_accesses = 0
+
+    def _on_eviction(self, victim) -> None:
+        self._prefetched_root.pop(victim.addr, None)
+
+    def _scan_and_prefetch(
+        self,
+        block_addr: int,
+        root: Optional[PGKey],
+        depth: int,
+        demand_pc: Optional[int],
+        accessed_offset: int,
+        budget: List[int],
+    ) -> None:
+        """Scan one fetched block; issue (and recursively chase) prefetches.
+
+        ``root`` is None for demand fills — each candidate then roots its
+        own PG chain.  For prefetch fills, candidates inherit ``root``.
+        ``budget`` is the remaining per-demand-miss prefetch allowance
+        (a one-element list, decremented in place across the recursion).
+        """
+        if depth > self.config.max_recursion_depth:
+            return
+        words = self.memory.read_block_words(block_addr, self.config.block_size)
+        pending: List[Tuple[int, PGKey, int]] = []  # (target, root, next_depth)
+        for index, value in enumerate(words):
+            if budget[0] <= 0:
+                break
+            if value < NULL_REGION_END:
+                continue
+            if not compare_bits_match(value, block_addr, self.config.compare_bits):
+                continue
+            if root is None:
+                key: PGKey = (demand_pc or 0, index * WORD_SIZE - accessed_offset)
+                if self.hint_filter is not None and demand_pc is not None:
+                    if not self.hint_filter(demand_pc, index * WORD_SIZE - accessed_offset):
+                        continue
+            else:
+                key = root
+            target = block_address(value, self.config.block_size)
+            if target == block_addr:
+                continue
+            if self.cache.contains(target):
+                # Dropped at the L2 probe (paper Section 2.2): costs no
+                # bandwidth, so it must not dilute the PG's usefulness.
+                continue
+            budget[0] -= 1
+            self.profile.record_issue(key)
+            self.cache.insert(target, prefetch_owner="cdp")
+            self._prefetched_root[target] = key
+            pending.append((target, key, depth + 1))
+        for target, key, next_depth in pending:
+            self._scan_and_prefetch(target, key, next_depth, None, 0, budget)
+
+    def access(self, op: MemOp) -> None:
+        """Feed one demand memory operation through the functional model."""
+        cfg = self.config
+        self.demand_accesses += 1
+        block = self.cache.lookup(op.addr)
+        if block is not None:
+            root = self._prefetched_root.pop(block.addr, None)
+            if root is not None:
+                self.profile.record_use(root)
+                block.mark_used()
+            return
+        self.demand_misses += 1
+        block_addr = block_address(op.addr, cfg.block_size)
+        self.cache.insert(block_addr, demand_pc=op.pc)
+        if op.is_load:
+            self._scan_and_prefetch(
+                block_addr,
+                root=None,
+                depth=1,
+                demand_pc=op.pc,
+                accessed_offset=block_offset(op.addr, cfg.block_size),
+                budget=[cfg.chain_budget],
+            )
+
+    def run(self, trace: Iterable[MemOp]) -> PointerGroupProfile:
+        for op in trace:
+            self.access(op)
+        return self.profile
+
+
+def profile_trace(
+    memory: SimulatedMemory,
+    trace: Iterable[MemOp],
+    config: ProfilerConfig,
+    hint_filter: Optional[Callable[[int, int], bool]] = None,
+) -> PointerGroupProfile:
+    """Convenience wrapper: run a full profiling pass over *trace*."""
+    simulator = FunctionalCdpSimulator(memory, config, hint_filter)
+    return simulator.run(trace)

@@ -1,0 +1,25 @@
+"""Core model: trace records, configuration, the cycle-approximate CPU,
+and multi-core composition."""
+
+from repro.core.config import SystemConfig
+from repro.core.cpu import Core
+from repro.core.instruction import (
+    MemOp,
+    PcAllocator,
+    count_instructions,
+    materialize,
+)
+from repro.core.stats import CoreResult, PrefetcherResult
+from repro.core.system import MultiCoreSystem
+
+__all__ = [
+    "Core",
+    "CoreResult",
+    "MemOp",
+    "MultiCoreSystem",
+    "PcAllocator",
+    "PrefetcherResult",
+    "SystemConfig",
+    "count_instructions",
+    "materialize",
+]

@@ -1,0 +1,97 @@
+"""System configuration (paper Table 5) with paper-scale and scaled presets.
+
+``SystemConfig.paper()`` reproduces Table 5 exactly.  ``SystemConfig.scaled()``
+shrinks caches, DRAM latency and the feedback interval together so that
+scaled-down traces (10^4-10^5 memory ops instead of 200M instructions) show
+the same miss, pollution and contention behaviour in tractable time — the
+substitution DESIGN.md Section 2 documents.  All mechanism parameters
+(thresholds, aggressiveness ladders, compare bits) are identical at both
+scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Every knob of the simulated machine."""
+
+    # -- core ---------------------------------------------------------------
+    issue_width: int = 4  # decode/retire up to 4 instructions (Table 5)
+    rob_size: int = 256  # reorder buffer entries (Table 5)
+
+    # -- caches ---------------------------------------------------------------
+    block_size: int = 128  # L2 line size (Table 5)
+    l1_size: int = 32 * 1024
+    l1_ways: int = 4
+    l1_latency: int = 2
+    l2_size: int = 1024 * 1024
+    l2_ways: int = 8
+    l2_latency: int = 15
+    l2_mshrs: int = 32  # bounds demand MLP (Table 5: 32 L2 MSHRs)
+
+    # -- DRAM -----------------------------------------------------------------
+    dram_banks: int = 8
+    dram_controller_overhead: int = 20
+    dram_bank_occupancy: int = 350
+    bus_bytes_per_cycle: int = 8  # 8B-wide bus (Table 5)
+    bus_frequency_ratio: int = 5  # 5:1 core-to-bus ratio (Table 5)
+    request_buffer_per_core: int = 32  # buffer = 32 * core count (Table 5)
+
+    # -- prefetching ----------------------------------------------------------
+    prefetch_queue_size: int = 128  # per core (Table 5)
+    stream_count: int = 32  # 32 streams (Table 5)
+    cdp_compare_bits: int = 8  # Section 5
+    train_on_stores: bool = True
+
+    # -- throttling -----------------------------------------------------------
+    interval_evictions: int = 8192  # Section 4.1
+    # Table 4 thresholds.  The paper notes (Section 4.2) that in systems
+    # with a relatively small last-level cache or limited bandwidth,
+    # "T_coverage and A_low can be increased to trigger Case 2 of Table 3
+    # sooner" — the scaled preset does exactly that.
+    t_coverage: float = 0.2
+    a_low: float = 0.4
+    a_high: float = 0.7
+
+    @property
+    def min_memory_latency(self) -> float:
+        """Unloaded DRAM latency implied by the component latencies."""
+        transfer = (self.block_size // self.bus_bytes_per_cycle) * self.bus_frequency_ratio
+        return self.dram_controller_overhead + self.dram_bank_occupancy + transfer
+
+    @classmethod
+    def paper(cls) -> "SystemConfig":
+        """Table 5 exactly; min memory latency composes to 450 cycles."""
+        return cls()
+
+    @classmethod
+    def scaled(cls) -> "SystemConfig":
+        """Proportionally shrunk system for tractable Python simulation.
+
+        L2 shrinks 16x (1 MB -> 64 KB); DRAM latency roughly 2.4x shorter;
+        the feedback interval shrinks with the cache so a scaled run still
+        completes tens of intervals.  Blocks shrink to 64 B, which is also
+        the size used for the paper's FDP comparison (Section 6.5) and the
+        hint-vector example (Figure 6: 16-bit vectors).
+        """
+        return cls(
+            block_size=64,
+            l1_size=4 * 1024,
+            l1_ways=4,
+            l2_size=64 * 1024,
+            l2_ways=8,
+            l2_mshrs=32,
+            dram_controller_overhead=10,
+            dram_bank_occupancy=120,
+            request_buffer_per_core=32,
+            interval_evictions=256,
+            t_coverage=0.35,
+            a_low=0.45,
+        )
+
+    def with_overrides(self, **kwargs) -> "SystemConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,70 @@
+"""End-of-run results: IPC, BPKI, per-prefetcher accuracy and coverage.
+
+These are the paper's reported metrics:
+
+* IPC — retired instructions / cycles (Figure 7 top, normalized).
+* BPKI — bus accesses per thousand retired instructions (Figure 7 bottom);
+  every core<->memory transfer counts: demand fills, prefetch fills,
+  writebacks.
+* Prefetcher accuracy — used / issued (Figure 8).
+* Prefetcher coverage — used / (used + demand misses) (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PrefetcherResult:
+    """Lifetime outcome of one prefetcher in one run."""
+
+    issued: int = 0
+    used: int = 0
+    late: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.used / self.issued if self.issued else 0.0
+
+
+@dataclass
+class CoreResult:
+    """Everything measured for one core over one trace."""
+
+    name: str = "core0"
+    retired_instructions: int = 0
+    cycles: float = 0.0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_demand_misses: int = 0
+    bus_transfers: int = 0
+    prefetchers: Dict[str, PrefetcherResult] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.retired_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def bpki(self) -> float:
+        if not self.retired_instructions:
+            return 0.0
+        return self.bus_transfers / (self.retired_instructions / 1000.0)
+
+    def coverage(self, owner: str) -> float:
+        """used / (used + demand misses), per paper Eq. 2 at run scope."""
+        result = self.prefetchers.get(owner)
+        if result is None:
+            return 0.0
+        denominator = result.used + self.l2_demand_misses
+        return result.used / denominator if denominator else 0.0
+
+    def accuracy(self, owner: str) -> float:
+        result = self.prefetchers.get(owner)
+        return result.accuracy if result is not None else 0.0
+
+    def speedup_over(self, baseline: "CoreResult") -> float:
+        """IPC ratio vs a baseline run of the same trace."""
+        return self.ipc / baseline.ipc if baseline.ipc else 0.0

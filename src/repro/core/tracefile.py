@@ -1,0 +1,129 @@
+"""Trace serialization: save and load MemOp streams.
+
+Workload traces are normally generated on the fly, but a standalone
+simulator needs to exchange traces with the outside world — to archive a
+profiling input, to replay a trace from another tool, or to diff two runs.
+
+Two formats:
+
+* **binary** (default) — fixed 17-byte little-endian records
+  ``<pc:u32, addr:u32, flags:u8, work:u32, dep:i32>``, streamed, with a
+  magic header carrying a format version.  Compact and fast.
+* **text** — one ``pc addr kind work dep`` line per op (hex addresses),
+  greppable and diffable.
+
+Both round-trip exactly, including dependence edges.  Loading is lazy
+(generators), so multi-million-op traces never fully materialize.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.core.instruction import MemOp
+
+MAGIC = b"RPTR\x01"
+_RECORD = struct.Struct("<IIBIi")
+
+_FLAG_LOAD = 0x1
+
+PathLike = Union[str, Path]
+
+
+def save_trace(path: PathLike, trace: Iterable[MemOp]) -> int:
+    """Write *trace* in binary format; returns the number of ops written."""
+    count = 0
+    with open(path, "wb") as stream:
+        stream.write(MAGIC)
+        for op in trace:
+            stream.write(
+                _RECORD.pack(
+                    op.pc,
+                    op.addr,
+                    _FLAG_LOAD if op.is_load else 0,
+                    op.work,
+                    op.dep,
+                )
+            )
+            count += 1
+    return count
+
+
+def load_trace(path: PathLike) -> Iterator[MemOp]:
+    """Stream MemOps back from a binary trace file."""
+    with open(path, "rb") as stream:
+        header = stream.read(len(MAGIC))
+        if header != MAGIC:
+            raise ValueError(
+                f"{path}: not a repro trace file (bad magic {header!r})"
+            )
+        while True:
+            record = stream.read(_RECORD.size)
+            if not record:
+                break
+            if len(record) != _RECORD.size:
+                raise ValueError(f"{path}: truncated trace record")
+            pc, addr, flags, work, dep = _RECORD.unpack(record)
+            yield MemOp(pc, addr, bool(flags & _FLAG_LOAD), work, dep)
+
+
+def save_trace_text(path: PathLike, trace: Iterable[MemOp]) -> int:
+    """Write *trace* as text, one op per line."""
+    count = 0
+    with open(path, "w") as stream:
+        stream.write("# pc addr kind work dep\n")
+        for op in trace:
+            kind = "L" if op.is_load else "S"
+            stream.write(
+                f"{op.pc:#x} {op.addr:#x} {kind} {op.work} {op.dep}\n"
+            )
+            count += 1
+    return count
+
+
+def load_trace_text(path: PathLike) -> Iterator[MemOp]:
+    """Stream MemOps back from a text trace file."""
+    with open(path) as stream:
+        for line_number, line in enumerate(stream, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 5 or fields[2] not in ("L", "S"):
+                raise ValueError(
+                    f"{path}:{line_number}: malformed trace line {line!r}"
+                )
+            pc, addr = int(fields[0], 16), int(fields[1], 16)
+            yield MemOp(
+                pc, addr, fields[2] == "L", int(fields[3]), int(fields[4])
+            )
+
+
+def trace_summary(trace: Iterable[MemOp]) -> dict:
+    """Aggregate statistics of a trace (for quick sanity checks)."""
+    ops = loads = stores = instructions = dependent = 0
+    min_addr, max_addr = None, None
+    for op in trace:
+        ops += 1
+        instructions += 1 + op.work
+        if op.is_load:
+            loads += 1
+            if op.dep >= 0:
+                dependent += 1
+        else:
+            stores += 1
+        if min_addr is None or op.addr < min_addr:
+            min_addr = op.addr
+        if max_addr is None or op.addr > max_addr:
+            max_addr = op.addr
+    return {
+        "ops": ops,
+        "loads": loads,
+        "stores": stores,
+        "instructions": instructions,
+        "dependent_loads": dependent,
+        "min_addr": min_addr,
+        "max_addr": max_addr,
+    }

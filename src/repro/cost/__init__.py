@@ -1,0 +1,10 @@
+"""Hardware cost model (paper Table 7)."""
+
+from repro.cost.hardware import (
+    CostLine,
+    CostReport,
+    baseline_costs,
+    proposal_cost,
+)
+
+__all__ = ["CostLine", "CostReport", "baseline_costs", "proposal_cost"]

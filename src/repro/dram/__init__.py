@@ -1,0 +1,7 @@
+"""DRAM subsystem: banks, shared bus, controller."""
+
+from repro.dram.bank import BankArray
+from repro.dram.bus import MemoryBus
+from repro.dram.controller import DramController, DramStats
+
+__all__ = ["BankArray", "DramController", "DramStats", "MemoryBus"]

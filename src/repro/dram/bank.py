@@ -1,0 +1,45 @@
+"""DRAM bank model.
+
+Each bank services one access at a time; a request arriving while its bank
+is busy waits.  Keeping banks busy is one of the four contention channels
+the paper lists for inter-prefetcher interference (Section 4), so bank
+occupancy is modelled explicitly rather than folded into a flat latency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BankArray:
+    """N independent banks, block-interleaved."""
+
+    def __init__(self, n_banks: int, occupancy_cycles: int) -> None:
+        if n_banks <= 0:
+            raise ValueError("need at least one bank")
+        self.n_banks = n_banks
+        self.occupancy_cycles = occupancy_cycles
+        self._busy_until: List[float] = [0.0] * n_banks
+        self.conflicts = 0  # accesses that waited on a busy bank
+
+    def bank_of(self, block_addr: int, block_size: int) -> int:
+        return (block_addr // block_size) % self.n_banks
+
+    def service(self, bank: int, ready_time: float) -> float:
+        """Begin an access on *bank* no earlier than *ready_time*.
+
+        Returns the cycle the bank access completes (row access done,
+        data ready for the bus).
+        """
+        start = self._busy_until[bank]
+        if start > ready_time:
+            self.conflicts += 1
+        else:
+            start = ready_time
+        done = start + self.occupancy_cycles
+        self._busy_until[bank] = done
+        return done
+
+    def reset(self) -> None:
+        self._busy_until = [0.0] * self.n_banks
+        self.conflicts = 0

@@ -1,0 +1,74 @@
+"""Experiment harness: mechanism presets, runners, metrics, reporting."""
+
+from repro.experiments.configs import MECHANISMS, Mechanism, get_mechanism
+from repro.experiments.export import (
+    result_record,
+    sweep_records,
+    write_csv,
+    write_json,
+)
+from repro.experiments.metrics import (
+    bpki_delta_percent,
+    geomean,
+    gmean_speedup,
+    hmean_speedup,
+    ipc_delta_percent,
+    mean_bpki_delta,
+    total_bus_traffic_per_ki,
+    weighted_speedup,
+)
+from repro.experiments.reporting import format_bars, format_table, pct, side_by_side
+from repro.experiments.runner import (
+    build_core,
+    clear_caches,
+    hint_filter_for,
+    make_dram,
+    profile_benchmark,
+    profiler_config,
+    run_benchmark,
+    run_multicore,
+)
+from repro.experiments.suites import (
+    OUTLIER,
+    accuracy_rows,
+    coverage_rows,
+    delta_rows,
+    summary_line,
+    sweep,
+)
+
+__all__ = [
+    "MECHANISMS",
+    "Mechanism",
+    "OUTLIER",
+    "accuracy_rows",
+    "bpki_delta_percent",
+    "build_core",
+    "clear_caches",
+    "coverage_rows",
+    "delta_rows",
+    "format_bars",
+    "format_table",
+    "geomean",
+    "get_mechanism",
+    "gmean_speedup",
+    "hint_filter_for",
+    "hmean_speedup",
+    "ipc_delta_percent",
+    "make_dram",
+    "mean_bpki_delta",
+    "pct",
+    "profile_benchmark",
+    "profiler_config",
+    "result_record",
+    "run_benchmark",
+    "run_multicore",
+    "side_by_side",
+    "summary_line",
+    "sweep",
+    "sweep_records",
+    "total_bus_traffic_per_ki",
+    "weighted_speedup",
+    "write_csv",
+    "write_json",
+]

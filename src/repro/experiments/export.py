@@ -1,0 +1,83 @@
+"""Export experiment results to JSON or CSV for external analysis.
+
+The bench harness prints paper-shaped tables; this module serves users
+who want the raw numbers — spreadsheets, notebooks, regression tracking
+across library versions.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.stats import CoreResult
+
+PathLike = Union[str, Path]
+
+#: columns exported per (benchmark, mechanism) result
+FIELDS = [
+    "benchmark",
+    "mechanism",
+    "ipc",
+    "bpki",
+    "retired_instructions",
+    "cycles",
+    "l2_demand_misses",
+    "bus_transfers",
+    "cdp_accuracy",
+    "cdp_coverage",
+    "stream_accuracy",
+    "stream_coverage",
+]
+
+
+def result_record(benchmark: str, mechanism: str, result: CoreResult) -> Dict:
+    """Flatten one run's metrics into an export row."""
+    return {
+        "benchmark": benchmark,
+        "mechanism": mechanism,
+        "ipc": result.ipc,
+        "bpki": result.bpki,
+        "retired_instructions": result.retired_instructions,
+        "cycles": result.cycles,
+        "l2_demand_misses": result.l2_demand_misses,
+        "bus_transfers": result.bus_transfers,
+        "cdp_accuracy": result.accuracy("cdp"),
+        "cdp_coverage": result.coverage("cdp"),
+        "stream_accuracy": result.accuracy("stream"),
+        "stream_coverage": result.coverage("stream"),
+    }
+
+
+def sweep_records(
+    per_mechanism: Dict[str, Dict[str, CoreResult]]
+) -> List[Dict]:
+    """Flatten a suites.sweep() result into export rows."""
+    return [
+        result_record(benchmark, mechanism, result)
+        for mechanism, per_bench in per_mechanism.items()
+        for benchmark, result in per_bench.items()
+    ]
+
+
+def write_json(path: PathLike, records: List[Dict]) -> None:
+    """Write export rows as a JSON array."""
+    with open(path, "w") as stream:
+        json.dump(records, stream, indent=2)
+        stream.write("\n")
+
+
+def write_csv(path: PathLike, records: List[Dict]) -> None:
+    """Write export rows as CSV with the standard column set."""
+    with open(path, "w", newline="") as stream:
+        writer = csv.DictWriter(stream, fieldnames=FIELDS)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+
+
+def read_json(path: PathLike) -> List[Dict]:
+    with open(path) as stream:
+        return json.load(stream)

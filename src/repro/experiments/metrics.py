@@ -1,0 +1,93 @@
+"""Metrics the paper reports: speedups, BPKI deltas, multi-core fairness.
+
+* IPC delta (%) relative to the stream-prefetcher baseline (Table 6 row 1).
+* BPKI delta (%) — bus accesses per kilo-instruction (Table 6 row 2).
+* Geometric-mean speedup, with and without health (the paper reports both
+  because health's gain is an outlier — its footnote 9).
+* Weighted speedup [Snavely & Tullsen] and harmonic-mean speedup
+  [Luo et al.] for multi-core mixes (Figures 14, 15).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.core.stats import CoreResult
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; empty input -> 1.0 (identity speedup)."""
+    if not values:
+        return 1.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def ipc_delta_percent(result: CoreResult, baseline: CoreResult) -> float:
+    """Speedup over baseline, expressed as a percentage gain."""
+    return (result.ipc / baseline.ipc - 1.0) * 100.0
+
+
+def bpki_delta_percent(result: CoreResult, baseline: CoreResult) -> float:
+    """Change in bus traffic per kilo-instruction vs. baseline, in %."""
+    if baseline.bpki == 0:
+        return 0.0
+    return (result.bpki / baseline.bpki - 1.0) * 100.0
+
+
+def gmean_speedup(
+    results: Dict[str, CoreResult],
+    baselines: Dict[str, CoreResult],
+    exclude: Sequence[str] = (),
+) -> float:
+    """Geometric-mean speedup across benchmarks (optionally excluding some)."""
+    ratios = [
+        results[name].ipc / baselines[name].ipc
+        for name in results
+        if name not in exclude
+    ]
+    return geomean(ratios)
+
+
+def mean_bpki_delta(
+    results: Dict[str, CoreResult],
+    baselines: Dict[str, CoreResult],
+    exclude: Sequence[str] = (),
+) -> float:
+    """Average BPKI change (%) across benchmarks."""
+    deltas = [
+        bpki_delta_percent(results[name], baselines[name])
+        for name in results
+        if name not in exclude
+    ]
+    return sum(deltas) / len(deltas) if deltas else 0.0
+
+
+def weighted_speedup(
+    shared: Sequence[CoreResult], alone: Sequence[CoreResult]
+) -> float:
+    """sum_i IPC_shared_i / IPC_alone_i (Snavely & Tullsen)."""
+    if len(shared) != len(alone):
+        raise ValueError("shared/alone result counts differ")
+    return sum(s.ipc / a.ipc for s, a in zip(shared, alone))
+
+
+def hmean_speedup(
+    shared: Sequence[CoreResult], alone: Sequence[CoreResult]
+) -> float:
+    """Harmonic mean of per-benchmark speedups (Luo et al.)."""
+    if len(shared) != len(alone):
+        raise ValueError("shared/alone result counts differ")
+    ratios = [s.ipc / a.ipc for s, a in zip(shared, alone)]
+    if any(r <= 0 for r in ratios):
+        return 0.0
+    return len(ratios) / sum(1.0 / r for r in ratios)
+
+
+def total_bus_traffic_per_ki(results: Sequence[CoreResult]) -> float:
+    """System bus transfers per kilo-instruction across all cores."""
+    transfers = sum(r.bus_transfers for r in results)
+    retired = sum(r.retired_instructions for r in results)
+    return transfers / (retired / 1000.0) if retired else 0.0

@@ -1,0 +1,80 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Every bench target prints through these helpers so the harness output reads
+like the paper's evaluation section: one table or bar series per figure,
+same row/column structure, with our measured numbers in place of theirs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: Optional[str] = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    peak = max((abs(v) for v in values), default=1.0) or 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(abs(value) / peak * width))
+        sign = "-" if value < 0 else ""
+        lines.append(
+            f"{label.ljust(label_width)}  {sign}{bar} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def pct(value: float, decimals: int = 1) -> str:
+    """Format a ratio-delta as a signed percentage string."""
+    return f"{value:+.{decimals}f}%"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Join two text blocks horizontally (figure top/bottom pairs)."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    height = max(len(left_lines), len(right_lines))
+    left_width = max((len(line) for line in left_lines), default=0)
+    out = []
+    for index in range(height):
+        l_line = left_lines[index] if index < len(left_lines) else ""
+        r_line = right_lines[index] if index < len(right_lines) else ""
+        out.append(l_line.ljust(left_width + gap) + r_line)
+    return "\n".join(out)

@@ -1,0 +1,242 @@
+"""Experiment runner: assemble a system for a mechanism and run a workload.
+
+This is the public top of the library: ``run_benchmark("mst",
+"ecdp+throttle")`` performs the whole pipeline the paper describes —
+profile the train input, derive hint vectors, build the machine, run the
+measured input — and returns a :class:`~repro.core.stats.CoreResult`.
+
+Results and profiles are memoized per (benchmark, mechanism, input set,
+config), since the benchmark harness re-uses the same baselines across many
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.hints import CoarseLoadFilter, HintTable
+from repro.compiler.profiler import ProfilerConfig, profile_trace
+from repro.core.config import SystemConfig
+from repro.core.cpu import Core
+from repro.core.stats import CoreResult
+from repro.core.system import MultiCoreSystem
+from repro.dram.bus import MemoryBus
+from repro.dram.controller import DramController
+from repro.experiments.configs import Mechanism, get_mechanism
+from repro.prefetch.avd import AvdPrefetcher
+from repro.prefetch.cdp import ContentDirectedPrefetcher
+from repro.prefetch.dbp import DependenceBasedPrefetcher
+from repro.prefetch.filter_hw import HardwarePrefetchFilter
+from repro.prefetch.ghb import GhbPrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.pointer_cache import PointerCachePrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+from repro.prefetch.stride import NextLinePrefetcher, StridePrefetcher
+from repro.throttle.coordinated import CoordinatedThrottle
+from repro.throttle.levels import ThrottleThresholds
+from repro.throttle.fdp import FdpThrottle
+from repro.throttle.gendler import GendlerSelector
+from repro.workloads.base import WorkloadInstance
+from repro.workloads.registry import get_workload
+
+_PROFILE_CACHE: Dict[Tuple, object] = {}
+_RESULT_CACHE: Dict[Tuple, CoreResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop memoized profiles and results (tests use this)."""
+    _PROFILE_CACHE.clear()
+    _RESULT_CACHE.clear()
+
+
+def profiler_config(config: SystemConfig) -> ProfilerConfig:
+    """The functional profiler mirrors the target machine's L2 and CDP."""
+    return ProfilerConfig(
+        l2_size=config.l2_size,
+        l2_ways=config.l2_ways,
+        block_size=config.block_size,
+        compare_bits=config.cdp_compare_bits,
+        max_recursion_depth=4,
+    )
+
+
+def profile_benchmark(
+    benchmark: str,
+    config: SystemConfig,
+    input_set: str = "train",
+):
+    """Run the profiling compiler pass; returns a PointerGroupProfile."""
+    key = ("profile", benchmark, input_set, config)
+    cached = _PROFILE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    instance = get_workload(benchmark).build(input_set)
+    profile = profile_trace(
+        instance.memory, instance.trace(), profiler_config(config)
+    )
+    _PROFILE_CACHE[key] = profile
+    return profile
+
+
+def hint_filter_for(
+    mechanism: Mechanism,
+    benchmark: str,
+    config: SystemConfig,
+    profile_input: str = "train",
+) -> Optional[Callable[[int, int], bool]]:
+    """Build the CDP hint filter the mechanism calls for (None = greedy)."""
+    if mechanism.hints == "none":
+        return None
+    profile = profile_benchmark(benchmark, config, profile_input)
+    if mechanism.hints == "ecdp":
+        return HintTable.from_profile(profile).allows
+    if mechanism.hints in ("grp", "loadfilter"):
+        return CoarseLoadFilter.from_profile(profile).allows
+    raise ValueError(f"unknown hint mode {mechanism.hints!r}")
+
+
+def make_dram(config: SystemConfig, n_cores: int = 1) -> DramController:
+    bus = MemoryBus(config.bus_bytes_per_cycle, config.bus_frequency_ratio)
+    return DramController(
+        n_banks=config.dram_banks,
+        bank_occupancy=config.dram_bank_occupancy,
+        controller_overhead=config.dram_controller_overhead,
+        bus=bus,
+        block_size=config.block_size,
+        request_buffer_size=config.request_buffer_per_core * n_cores,
+    )
+
+
+def build_core(
+    mechanism: Mechanism,
+    config: SystemConfig,
+    instance: WorkloadInstance,
+    dram: DramController,
+    hint_filter: Optional[Callable[[int, int], bool]] = None,
+    name: str = "core0",
+) -> Core:
+    """Wire up one core with the mechanism's prefetchers and controller."""
+    stream = (
+        StreamPrefetcher(config.block_size, config.stream_count)
+        if mechanism.stream
+        else None
+    )
+    cdp = (
+        ContentDirectedPrefetcher(
+            config.block_size,
+            compare_bits=config.cdp_compare_bits,
+            hint_filter=hint_filter,
+        )
+        if mechanism.cdp
+        else None
+    )
+    correlation = []
+    value_observers = []
+    dbp = None
+    if mechanism.correlation == "markov":
+        correlation.append(MarkovPrefetcher(config.block_size))
+    elif mechanism.correlation == "ghb":
+        correlation.append(GhbPrefetcher(config.block_size))
+    elif mechanism.correlation == "dbp":
+        dbp = DependenceBasedPrefetcher(config.block_size)
+    elif mechanism.correlation == "pointer-cache":
+        pointer_cache = PointerCachePrefetcher(config.block_size)
+        correlation.append(pointer_cache)
+        value_observers.append(pointer_cache)
+    elif mechanism.correlation == "avd":
+        avd = AvdPrefetcher(config.block_size)
+        correlation.append(avd)
+        value_observers.append(avd)
+    elif mechanism.correlation == "stride":
+        correlation.append(StridePrefetcher(config.block_size))
+    elif mechanism.correlation == "nextline":
+        correlation.append(NextLinePrefetcher(config.block_size))
+    elif mechanism.correlation != "none":
+        raise ValueError(f"unknown correlation prefetcher {mechanism.correlation!r}")
+    hw_filter = HardwarePrefetchFilter() if mechanism.hw_filter else None
+
+    throttled = [p for p in (stream, cdp, *correlation, dbp) if p is not None]
+    gendler = None
+    if mechanism.throttle == "gendler":
+        gendler = GendlerSelector(throttled)
+
+    core = Core(
+        config,
+        instance.memory,
+        dram,
+        name=name,
+        stream=stream,
+        cdp=cdp,
+        correlation_prefetchers=correlation,
+        dbp=dbp,
+        hw_filter=hw_filter,
+        gendler=gendler,
+        oracle_pcs=instance.lds_pcs if mechanism.oracle_lds else None,
+        value_observers=value_observers,
+    )
+
+    thresholds = ThrottleThresholds(
+        t_coverage=config.t_coverage,
+        a_low=config.a_low,
+        a_high=config.a_high,
+    )
+    if mechanism.throttle == "coordinated":
+        if len(throttled) >= 2:
+            CoordinatedThrottle(throttled, thresholds).attach(core.feedback)
+    elif mechanism.throttle == "fdp":
+        FdpThrottle(throttled).attach(core.feedback)
+    elif mechanism.throttle == "gendler":
+        gendler.attach(core.feedback)
+    elif mechanism.throttle != "none":
+        raise ValueError(f"unknown throttle mode {mechanism.throttle!r}")
+    return core
+
+
+def run_benchmark(
+    benchmark: str,
+    mechanism: str,
+    config: Optional[SystemConfig] = None,
+    input_set: str = "ref",
+    profile_input: str = "train",
+    use_cache: bool = True,
+) -> CoreResult:
+    """Run one benchmark under one mechanism on a single core."""
+    config = config or SystemConfig.scaled()
+    mech = get_mechanism(mechanism)
+    key = (benchmark, mechanism, input_set, profile_input, config)
+    if use_cache:
+        cached = _RESULT_CACHE.get(key)
+        if cached is not None:
+            return cached
+    hint_filter = hint_filter_for(mech, benchmark, config, profile_input)
+    instance = get_workload(benchmark).build(input_set)
+    dram = make_dram(config, n_cores=1)
+    core = build_core(mech, config, instance, dram, hint_filter)
+    result = core.run(instance.trace())
+    if use_cache:
+        _RESULT_CACHE[key] = result
+    return result
+
+
+def run_multicore(
+    benchmarks: Sequence[str],
+    mechanism: str,
+    config: Optional[SystemConfig] = None,
+    input_set: str = "ref",
+    profile_input: str = "train",
+) -> List[CoreResult]:
+    """Run a multiprogrammed mix, one benchmark per core, shared DRAM."""
+    config = config or SystemConfig.scaled()
+    mech = get_mechanism(mechanism)
+    dram = make_dram(config, n_cores=len(benchmarks))
+    cores = []
+    traces = []
+    for index, benchmark in enumerate(benchmarks):
+        hint_filter = hint_filter_for(mech, benchmark, config, profile_input)
+        instance = get_workload(benchmark).build(input_set)
+        core = build_core(
+            mech, config, instance, dram, hint_filter, name=f"core{index}"
+        )
+        cores.append(core)
+        traces.append(instance.trace())
+    return MultiCoreSystem(cores).run(traces)

@@ -1,0 +1,113 @@
+"""High-level experiment suites shared by the benchmark harness.
+
+Each figure's bench file composes these: run a mechanism sweep over the
+pointer-intensive set (memoized across figures, since e.g. the baseline and
+ecdp+throttle runs appear in Figures 7, 8, 9, 11, 12 and 13), then reduce
+to the paper's reported rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.stats import CoreResult
+from repro.experiments.metrics import (
+    bpki_delta_percent,
+    gmean_speedup,
+    ipc_delta_percent,
+    mean_bpki_delta,
+)
+from repro.experiments.runner import run_benchmark
+from repro.workloads.registry import pointer_intensive_names
+
+#: the benchmark the paper reports averages with and without (footnote 9)
+OUTLIER = "health"
+
+
+def sweep(
+    mechanisms: Sequence[str],
+    benchmarks: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+) -> Dict[str, Dict[str, CoreResult]]:
+    """Run every (mechanism, benchmark) pair; memoized inside the runner."""
+    config = config or SystemConfig.scaled()
+    benchmarks = list(benchmarks or pointer_intensive_names())
+    return {
+        mechanism: {
+            benchmark: run_benchmark(benchmark, mechanism, config)
+            for benchmark in benchmarks
+        }
+        for mechanism in mechanisms
+    }
+
+
+def delta_rows(
+    results: Dict[str, CoreResult],
+    baselines: Dict[str, CoreResult],
+) -> List[Tuple[str, float, float]]:
+    """(benchmark, IPC delta %, BPKI delta %) rows in benchmark order."""
+    return [
+        (
+            name,
+            ipc_delta_percent(results[name], baselines[name]),
+            bpki_delta_percent(results[name], baselines[name]),
+        )
+        for name in results
+    ]
+
+
+def summary_line(
+    results: Dict[str, CoreResult],
+    baselines: Dict[str, CoreResult],
+) -> Dict[str, float]:
+    """The paper's four headline aggregates (with / without health)."""
+    return {
+        "gmean_ipc_pct": (gmean_speedup(results, baselines) - 1.0) * 100.0,
+        "gmean_ipc_pct_no_health": (
+            gmean_speedup(results, baselines, exclude=(OUTLIER,)) - 1.0
+        )
+        * 100.0,
+        "mean_bpki_pct": mean_bpki_delta(results, baselines),
+        "mean_bpki_pct_no_health": mean_bpki_delta(
+            results, baselines, exclude=(OUTLIER,)
+        ),
+    }
+
+
+def accuracy_rows(
+    per_mechanism: Dict[str, Dict[str, CoreResult]],
+    owner: str,
+) -> List[Tuple[str, List[float]]]:
+    """Per-benchmark accuracy of prefetcher *owner* under each mechanism."""
+    mechanisms = list(per_mechanism)
+    benchmarks = list(next(iter(per_mechanism.values())))
+    return [
+        (
+            benchmark,
+            [
+                per_mechanism[mechanism][benchmark].accuracy(owner)
+                for mechanism in mechanisms
+            ],
+        )
+        for benchmark in benchmarks
+    ]
+
+
+def coverage_rows(
+    per_mechanism: Dict[str, Dict[str, CoreResult]],
+    owner: str,
+) -> List[Tuple[str, List[float]]]:
+    """Per-benchmark coverage of prefetcher *owner* under each mechanism."""
+    mechanisms = list(per_mechanism)
+    benchmarks = list(next(iter(per_mechanism.values())))
+    return [
+        (
+            benchmark,
+            [
+                per_mechanism[mechanism][benchmark].coverage(owner)
+                for mechanism in mechanisms
+            ],
+        )
+        for benchmark in benchmarks
+    ]

@@ -1,0 +1,41 @@
+"""Simulated 32-bit memory substrate: addresses, backing store, allocators."""
+
+from repro.memory.address import (
+    ADDRESS_BITS,
+    ADDRESS_MASK,
+    NULL_REGION_END,
+    WORD_SIZE,
+    align_down,
+    align_up,
+    block_address,
+    block_offset,
+    compare_bits_match,
+    is_aligned,
+    validate_address,
+)
+from repro.memory.alloc import (
+    ArenaMap,
+    BumpAllocator,
+    FreeListAllocator,
+    OutOfSimulatedMemory,
+)
+from repro.memory.backing import SimulatedMemory
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_MASK",
+    "NULL_REGION_END",
+    "WORD_SIZE",
+    "align_down",
+    "align_up",
+    "block_address",
+    "block_offset",
+    "compare_bits_match",
+    "is_aligned",
+    "validate_address",
+    "ArenaMap",
+    "BumpAllocator",
+    "FreeListAllocator",
+    "OutOfSimulatedMemory",
+    "SimulatedMemory",
+]

@@ -1,0 +1,145 @@
+"""Heap allocators for laying out linked data structures in simulated memory.
+
+The layout of nodes in memory is load-bearing for this paper: pointer-group
+analysis (Section 3) relies on structure fields sitting at *constant byte
+offsets* from the field a load accesses, and on consecutively allocated nodes
+packing several copies of each field into one cache block (paper Figure 3).
+A simple bump allocator reproduces the behaviour of a fresh malloc heap; the
+free-list allocator adds reuse so workloads with allocation/deallocation
+churn (which the paper notes can perturb PG layout, footnote 3) can exercise
+that effect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.memory.address import WORD_SIZE, align_up, validate_address
+
+
+class OutOfSimulatedMemory(Exception):
+    """Raised when an allocator exhausts its arena."""
+
+
+class BumpAllocator:
+    """Sequential allocator: objects of one structure pack densely.
+
+    Matches the layout assumption in paper Figure 3(b): "different nodes
+    are allocated consecutively in memory", so each pointer field of any
+    node in a cache block lies at a constant offset from the byte a given
+    load accesses.
+    """
+
+    def __init__(self, base: int, size: int, alignment: int = WORD_SIZE) -> None:
+        if base <= 0:
+            raise ValueError("arena base must be positive (page zero is NULL)")
+        validate_address(base)
+        validate_address(base + size - 1)
+        self.base = base
+        self.size = size
+        self.alignment = alignment
+        self._next = align_up(base, alignment)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._next - self.base
+
+    @property
+    def bytes_free(self) -> int:
+        return self.base + self.size - self._next
+
+    def allocate(self, nbytes: int) -> int:
+        """Return the address of a fresh *nbytes* region."""
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        addr = self._next
+        new_next = align_up(addr + nbytes, self.alignment)
+        if new_next > self.base + self.size:
+            raise OutOfSimulatedMemory(
+                f"arena of {self.size} bytes exhausted "
+                f"(requested {nbytes}, used {self.bytes_used})"
+            )
+        self._next = new_next
+        return addr
+
+
+class FreeListAllocator:
+    """Bump allocator with size-segregated free lists.
+
+    free() pushes a region onto the free list for its size class and a later
+    allocate() of the same size pops it (LIFO), imitating glibc fastbins.
+    This perturbs node adjacency exactly the way real allocation churn does,
+    which is what makes some pointer groups only *almost always* hold
+    (paper footnote 3).
+    """
+
+    def __init__(self, base: int, size: int, alignment: int = WORD_SIZE) -> None:
+        self._bump = BumpAllocator(base, size, alignment)
+        self._free_lists: Dict[int, List[int]] = {}
+        self._live: Dict[int, int] = {}  # addr -> rounded size
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bump.bytes_used
+
+    def _size_class(self, nbytes: int) -> int:
+        return align_up(nbytes, self._bump.alignment)
+
+    def allocate(self, nbytes: int) -> int:
+        size_class = self._size_class(nbytes)
+        free_list = self._free_lists.get(size_class)
+        if free_list:
+            addr = free_list.pop()
+        else:
+            addr = self._bump.allocate(size_class)
+        self._live[addr] = size_class
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Return the region at *addr* to its size class's free list."""
+        size_class = self._live.pop(addr, None)
+        if size_class is None:
+            raise ValueError(f"free of unallocated address {addr:#x}")
+        self._free_lists.setdefault(size_class, []).append(addr)
+
+
+class ArenaMap:
+    """Carves one address space into named, non-overlapping arenas.
+
+    Workloads give each structure its own arena so the high-order address
+    bits differ between regions, exercising the compare-bits predictor the
+    way distinct mmap'd heaps would.
+    """
+
+    #: Heap arenas start at 256 MiB; everything below is reserved so that
+    #: small integers in the backing store never pass the pointer test.
+    DEFAULT_BASE = 0x1000_0000
+
+    def __init__(self, base: int = DEFAULT_BASE) -> None:
+        self._next_base = base
+        self._arenas: Dict[str, BumpAllocator] = {}
+
+    def new_arena(
+        self,
+        name: str,
+        size: int,
+        alignment: int = WORD_SIZE,
+        with_free_list: bool = False,
+    ):
+        """Create and register a fresh arena called *name*."""
+        if name in self._arenas:
+            raise ValueError(f"arena {name!r} already exists")
+        base = self._next_base
+        # Separate arenas by a guard gap and keep bases block-aligned.
+        self._next_base = align_up(base + size + 0x1000, 0x1000)
+        validate_address(self._next_base)
+        allocator: BumpAllocator
+        if with_free_list:
+            allocator = FreeListAllocator(base, size, alignment)  # type: ignore[assignment]
+        else:
+            allocator = BumpAllocator(base, size, alignment)
+        self._arenas[name] = allocator
+        return allocator
+
+    def arena(self, name: str):
+        return self._arenas[name]

@@ -1,0 +1,36 @@
+"""Prefetchers: the baseline stream prefetcher, CDP/ECDP, and the
+LDS/correlation baselines the paper compares against."""
+
+from repro.prefetch.avd import AvdPrefetcher
+from repro.prefetch.base import Prefetcher, PrefetchQueue, PrefetchRequest
+from repro.prefetch.cdp import CDP_LEVELS, ContentDirectedPrefetcher
+from repro.prefetch.dbp import DependenceBasedPrefetcher
+from repro.prefetch.filter_hw import HardwarePrefetchFilter
+from repro.prefetch.ghb import GHB_DEGREE_LEVELS, GhbPrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.pointer_cache import PointerCachePrefetcher
+from repro.prefetch.stream import STREAM_LEVELS, StreamPrefetcher
+from repro.prefetch.stride import (
+    NextLinePrefetcher,
+    STRIDE_DEGREE_LEVELS,
+    StridePrefetcher,
+)
+
+__all__ = [
+    "AvdPrefetcher",
+    "CDP_LEVELS",
+    "ContentDirectedPrefetcher",
+    "DependenceBasedPrefetcher",
+    "GHB_DEGREE_LEVELS",
+    "GhbPrefetcher",
+    "HardwarePrefetchFilter",
+    "MarkovPrefetcher",
+    "NextLinePrefetcher",
+    "PointerCachePrefetcher",
+    "Prefetcher",
+    "PrefetchQueue",
+    "PrefetchRequest",
+    "STREAM_LEVELS",
+    "STRIDE_DEGREE_LEVELS",
+    "StridePrefetcher",
+]

@@ -1,0 +1,103 @@
+"""Prefetcher interfaces shared by the stream, CDP and baseline prefetchers.
+
+A prefetcher in this system is a passive observer of L2-level events that
+emits *block addresses to prefetch*; all timing (queues, DRAM, fills) is
+owned by the core model so every prefetcher competes for exactly the same
+resources — the premise of the paper's interference study.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """One prefetch candidate produced by a prefetcher.
+
+    ``depth`` matters only for recursive content-directed prefetching: a
+    fill caused by a depth-d CDP prefetch is rescanned only if d is below
+    the configured maximum recursion depth.  ``root`` carries the pointer
+    group (load PC, byte offset) a CDP request originated from; requests
+    from recursive scans leave it None and inherit their parent's root —
+    used by informing-load profiling (paper Section 3, second sketch).
+    """
+
+    block_addr: int
+    owner: str
+    depth: int = 1
+    root: Optional[Tuple[int, int]] = None
+
+
+class Prefetcher(ABC):
+    """Base class: named, throttleable source of prefetch requests."""
+
+    #: number of aggressiveness levels every prefetcher exposes (Table 2)
+    N_LEVELS = 4
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._level = self.N_LEVELS - 1  # start aggressive, like the paper
+
+    @property
+    def level(self) -> int:
+        """Current aggressiveness level, 0 (very conservative) .. 3."""
+        return self._level
+
+    def set_level(self, level: int) -> None:
+        self._level = max(0, min(self.N_LEVELS - 1, level))
+
+    def throttle_up(self) -> None:
+        self.set_level(self._level + 1)
+
+    def throttle_down(self) -> None:
+        self.set_level(self._level - 1)
+
+    @abstractmethod
+    def on_demand_access(
+        self, now: float, addr: int, pc: int, l2_hit: bool
+    ) -> List[PrefetchRequest]:
+        """Observe a demand access at the L2; return prefetches to issue."""
+
+
+class PrefetchQueue:
+    """Per-core prefetch request queue (Table 5: 128 entries per core).
+
+    Requests occupy a slot from issue until their fill completes; a
+    prefetcher whose requests arrive when the queue is full loses them.
+    That backpressure is one of the contention channels coordinated
+    throttling manages.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("prefetch queue capacity must be positive")
+        self.capacity = capacity
+        self._in_flight: List[float] = []
+        self.dropped = 0
+
+    def occupancy(self, now: float) -> int:
+        heap = self._in_flight
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        return len(heap)
+
+    def try_admit(self, now: float) -> bool:
+        """Reserve a slot for a request issued at *now*.
+
+        The caller must follow up with :meth:`commit` once it knows the
+        completion time, or :meth:`cancel` if the request went nowhere.
+        """
+        if self.occupancy(now) >= self.capacity:
+            self.dropped += 1
+            return False
+        return True
+
+    def commit(self, completion: float) -> None:
+        heapq.heappush(self._in_flight, completion)
+
+    def cancel(self) -> None:
+        """Nothing to do: no slot was pushed for an uncommitted request."""

@@ -1,0 +1,43 @@
+"""Zhuang & Lee's hardware prefetch pollution filter (ICPP-32) —
+baseline of paper Section 6.4 / Figure 12.
+
+A table of 1-bit entries indexed by hashed block address remembers whether
+the last prefetch of that block was useless.  A prefetch whose entry says
+"useless last time" is suppressed; outcomes update the table (evicted
+unused -> useless, demanded -> useful).  The paper uses an 8 KB filter
+(65536 entries) and finds it too blunt for CDP: it kills useful prefetches
+along with the useless, because pointer usefulness is a property of the
+*pointer group*, not of the individual block address.
+"""
+
+from __future__ import annotations
+
+
+class HardwarePrefetchFilter:
+    """Per-block-address 1-bit uselessness history."""
+
+    def __init__(self, n_entries: int = 65536) -> None:
+        if n_entries <= 0 or n_entries & (n_entries - 1):
+            raise ValueError("filter size must be a power of two")
+        self.n_entries = n_entries
+        self._useless = bytearray(n_entries)
+        self.suppressed = 0
+
+    def storage_bits(self) -> int:
+        return self.n_entries  # one bit per entry
+
+    def _index(self, block_addr: int) -> int:
+        return (block_addr ^ (block_addr >> 16)) & (self.n_entries - 1)
+
+    def allows(self, block_addr: int) -> bool:
+        """Gate one prefetch request; counts suppressions."""
+        if self._useless[self._index(block_addr)]:
+            self.suppressed += 1
+            return False
+        return True
+
+    def on_prefetch_used(self, block_addr: int) -> None:
+        self._useless[self._index(block_addr)] = 0
+
+    def on_prefetch_evicted_unused(self, block_addr: int) -> None:
+        self._useless[self._index(block_addr)] = 1

@@ -1,0 +1,127 @@
+"""IBM POWER4/POWER5-style stream prefetcher (paper Section 2.1).
+
+The baseline every configuration in the paper includes: 32 stream entries,
+allocate-on-miss, direction detection on a second nearby miss, then a
+monitoring window that runs *Prefetch Distance* blocks ahead of the demand
+stream and issues *Prefetch Degree* blocks per advance.  Distance and degree
+are the two knobs coordinated throttling turns (paper Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.memory.address import block_address
+from repro.prefetch.base import Prefetcher, PrefetchRequest
+
+#: (distance, degree) per aggressiveness level — paper Table 2.
+STREAM_LEVELS: Tuple[Tuple[int, int], ...] = ((4, 1), (8, 1), (16, 2), (32, 4))
+
+
+@dataclass
+class _Stream:
+    """One tracked stream."""
+
+    # All fields in units of block numbers (addr // block_size).
+    last_demand: int  # most recent demand block seen by this stream
+    direction: int = 0  # +1 / -1 once trained, 0 while training
+    next_prefetch: int = 0  # first block not yet prefetched
+    trained: bool = False
+    lru_tick: int = 0
+
+
+class StreamPrefetcher(Prefetcher):
+    """Stride-1 multi-stream prefetcher with distance/degree throttling."""
+
+    def __init__(
+        self,
+        block_size: int,
+        n_streams: int = 32,
+        name: str = "stream",
+        train_window: int = 2,
+    ) -> None:
+        super().__init__(name)
+        self.block_size = block_size
+        self.n_streams = n_streams
+        #: a second miss within this many blocks of the first trains a stream
+        self.train_window = train_window
+        self._streams: List[_Stream] = []
+        self._tick = 0
+
+    @property
+    def distance(self) -> int:
+        return STREAM_LEVELS[self.level][0]
+
+    @property
+    def degree(self) -> int:
+        return STREAM_LEVELS[self.level][1]
+
+    def _find_stream(self, block: int) -> Optional[_Stream]:
+        """The stream whose monitoring window covers *block*, if any."""
+        best = None
+        for stream in self._streams:
+            if stream.trained:
+                ahead = (block - stream.last_demand) * stream.direction
+                if 0 <= ahead <= self.distance:
+                    best = stream
+                    break
+            else:
+                if abs(block - stream.last_demand) <= self.train_window:
+                    best = stream
+                    break
+        return best
+
+    def _allocate(self, block: int) -> _Stream:
+        stream = _Stream(last_demand=block, next_prefetch=block + 1)
+        if len(self._streams) >= self.n_streams:
+            # Evict the least recently advanced stream.
+            victim = min(self._streams, key=lambda s: s.lru_tick)
+            self._streams.remove(victim)
+        self._streams.append(stream)
+        return stream
+
+    def _emit(self, stream: _Stream, block: int) -> List[PrefetchRequest]:
+        """Advance *stream* to demand *block* and emit up to degree blocks."""
+        stream.last_demand = block
+        stream.lru_tick = self._tick
+        frontier = block + self.distance * stream.direction
+        requests: List[PrefetchRequest] = []
+        for __ in range(self.degree):
+            candidate = stream.next_prefetch
+            ahead = (candidate - block) * stream.direction
+            if ahead < 0:
+                # Demand stream jumped past our pointer; snap forward.
+                candidate = block + stream.direction
+                stream.next_prefetch = candidate
+                ahead = 1
+            if (frontier - candidate) * stream.direction < 0:
+                break  # would exceed the allowed distance
+            if candidate >= 0:
+                requests.append(
+                    PrefetchRequest(candidate * self.block_size, self.name)
+                )
+            stream.next_prefetch = candidate + stream.direction
+        return requests
+
+    def on_demand_access(
+        self, now: float, addr: int, pc: int, l2_hit: bool
+    ) -> List[PrefetchRequest]:
+        """Train on L2 demand misses; advance streams on any demand access."""
+        self._tick += 1
+        block = block_address(addr, self.block_size) // self.block_size
+        stream = self._find_stream(block)
+        if stream is None:
+            if not l2_hit:
+                self._allocate(block)
+            return []
+        if not stream.trained:
+            delta = block - stream.last_demand
+            if delta == 0:
+                stream.lru_tick = self._tick
+                return []
+            stream.direction = 1 if delta > 0 else -1
+            stream.trained = True
+            stream.next_prefetch = block + stream.direction
+            return self._emit(stream, block)
+        return self._emit(stream, block)

@@ -1,0 +1,114 @@
+"""Per-PC stride prefetcher and a simple next-N-line prefetcher.
+
+Neither appears in the paper's main evaluation, but both belong in any
+prefetching library of this scope:
+
+* the **stride prefetcher** (Chen & Baer-style reference prediction
+  table) catches per-instruction strided patterns the global stream
+  prefetcher misses, and is a third participant for the N-ary coordinated
+  throttling extension the paper sketches in Section 4.2;
+* the **next-line prefetcher** is the substrate Zhuang & Lee's filter
+  (Section 6.4) and Srinivasan's static filter (Section 7.2) were
+  originally proposed for.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.memory.address import block_address
+from repro.prefetch.base import Prefetcher, PrefetchRequest
+
+#: prefetch degree per aggressiveness level
+STRIDE_DEGREE_LEVELS: Tuple[int, ...] = (1, 1, 2, 4)
+NEXT_LINE_LEVELS: Tuple[int, ...] = (1, 1, 2, 4)
+
+
+@dataclass
+class _StrideEntry:
+    last_addr: int
+    stride: int = 0
+    confidence: int = 0  # 2-bit saturating
+
+
+class StridePrefetcher(Prefetcher):
+    """Reference prediction table: per-PC stride detection."""
+
+    def __init__(
+        self,
+        block_size: int,
+        n_entries: int = 256,
+        name: str = "stride",
+        confidence_threshold: int = 2,
+    ) -> None:
+        super().__init__(name)
+        self.block_size = block_size
+        self.n_entries = n_entries
+        self.confidence_threshold = confidence_threshold
+        self._table: "OrderedDict[int, _StrideEntry]" = OrderedDict()
+
+    @property
+    def degree(self) -> int:
+        return STRIDE_DEGREE_LEVELS[self.level]
+
+    def storage_bits(self) -> int:
+        # PC tag + last address + stride + confidence per entry.
+        return self.n_entries * (32 + 32 + 16 + 2)
+
+    def on_demand_access(
+        self, now: float, addr: int, pc: int, l2_hit: bool
+    ) -> List[PrefetchRequest]:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.n_entries:
+                self._table.popitem(last=False)
+            self._table[pc] = _StrideEntry(last_addr=addr)
+            return []
+        self._table.move_to_end(pc)
+        stride = addr - entry.last_addr
+        if stride == 0:
+            return []
+        if stride == entry.stride:
+            entry.confidence = min(3, entry.confidence + 1)
+        else:
+            entry.confidence = max(0, entry.confidence - 1)
+            if entry.confidence == 0:
+                entry.stride = stride
+        entry.last_addr = addr
+        if entry.confidence < self.confidence_threshold or entry.stride == 0:
+            return []
+        requests: List[PrefetchRequest] = []
+        seen = set()
+        for ahead in range(1, self.degree + 1):
+            target = block_address(
+                addr + entry.stride * ahead, self.block_size
+            )
+            if target not in seen and 0 <= target < (1 << 32):
+                seen.add(target)
+                requests.append(PrefetchRequest(target, self.name))
+        return requests
+
+
+class NextLinePrefetcher(Prefetcher):
+    """On every demand miss, prefetch the next N sequential blocks."""
+
+    def __init__(self, block_size: int, name: str = "nextline") -> None:
+        super().__init__(name)
+        self.block_size = block_size
+
+    @property
+    def degree(self) -> int:
+        return NEXT_LINE_LEVELS[self.level]
+
+    def on_demand_access(
+        self, now: float, addr: int, pc: int, l2_hit: bool
+    ) -> List[PrefetchRequest]:
+        if l2_hit:
+            return []
+        block = block_address(addr, self.block_size)
+        return [
+            PrefetchRequest(block + ahead * self.block_size, self.name)
+            for ahead in range(1, self.degree + 1)
+        ]

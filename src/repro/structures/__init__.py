@@ -1,0 +1,72 @@
+"""Linked data structures and arrays built in simulated memory."""
+
+from repro.structures.arrays import (
+    Array,
+    build_array,
+    build_pointer_array,
+    random_walk,
+    sequential_walk,
+)
+from repro.structures.base import Program, SilentWriter, StructLayout, run_steps
+from repro.structures.binary_tree import (
+    BinaryTree,
+    bitonic_sort_traversal,
+    build_balanced_tree,
+    descend,
+    inorder_walk,
+    tree_layout,
+)
+from repro.structures.graph import PointerGraph, build_graph, pivot_walk
+from repro.structures.hash_table import (
+    HashTable,
+    build_hash_table,
+    hash_lookup,
+    hash_node_layout,
+)
+from repro.structures.linked_list import (
+    LinkedList,
+    build_list,
+    list_layout,
+    search,
+    walk,
+)
+from repro.structures.quadtree import (
+    QuadTree,
+    build_quadtree,
+    perimeter_walk,
+    quadtree_layout,
+)
+
+__all__ = [
+    "Array",
+    "BinaryTree",
+    "HashTable",
+    "LinkedList",
+    "PointerGraph",
+    "Program",
+    "QuadTree",
+    "SilentWriter",
+    "StructLayout",
+    "bitonic_sort_traversal",
+    "build_array",
+    "build_balanced_tree",
+    "build_graph",
+    "build_hash_table",
+    "build_list",
+    "build_pointer_array",
+    "build_quadtree",
+    "descend",
+    "hash_lookup",
+    "hash_node_layout",
+    "inorder_walk",
+    "list_layout",
+    "perimeter_walk",
+    "pivot_walk",
+    "quadtree_layout",
+    "random_walk",
+    "run_steps",
+    "search",
+    "sequential_walk",
+    "tree_layout",
+    "walk",
+]

@@ -1,0 +1,114 @@
+"""Flat arrays in simulated memory — the streaming side of the workloads.
+
+Stream-prefetcher-friendly access patterns (sequential and strided walks)
+come from these; they also provide array-of-pointers structures (xalancbmk's
+DOM child vectors, mst's bucket array) whose *contents* are pointers even
+though the access pattern is regular.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.instruction import PcAllocator
+from repro.memory.address import WORD_SIZE
+from repro.structures.base import Program
+
+
+@dataclass
+class Array:
+    base: int
+    n_words: int
+
+    def addr(self, index: int) -> int:
+        return self.base + index * WORD_SIZE
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_words * WORD_SIZE
+
+
+def build_array(
+    memory,
+    allocator,
+    n_words: int,
+    rng: Optional[random.Random] = None,
+    fill: str = "random",
+) -> Array:
+    """Allocate an *n_words* array.
+
+    fill: "random" small integers (never look like pointers), "zero", or
+    "iota".
+    """
+    base = allocator.allocate(n_words * WORD_SIZE)
+    rng = rng or random.Random(0)
+    if fill == "random":
+        for i in range(n_words):
+            memory.write_word(base + i * WORD_SIZE, rng.randrange(1, 1 << 12))
+    elif fill == "iota":
+        for i in range(n_words):
+            memory.write_word(base + i * WORD_SIZE, i)
+    elif fill == "zero":
+        for i in range(n_words):
+            memory.write_word(base + i * WORD_SIZE, 0)
+    else:
+        raise ValueError(f"unknown fill {fill!r}")
+    return Array(base, n_words)
+
+
+def build_pointer_array(
+    memory, allocator, targets: List[int]
+) -> Array:
+    """An array whose elements are the given target addresses."""
+    base = allocator.allocate(len(targets) * WORD_SIZE)
+    for i, target in enumerate(targets):
+        memory.write_word(base + i * WORD_SIZE, target)
+    return Array(base, len(targets))
+
+
+def sequential_walk(
+    program: Program,
+    pcs: PcAllocator,
+    array: Array,
+    site: str,
+    stride_words: int = 1,
+    work_per_access: int = 4,
+    n_passes: int = 1,
+    store_fraction: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> Iterator[None]:
+    """Stream through the array with a fixed word stride.
+
+    The bread-and-butter pattern the baseline stream prefetcher covers.
+    """
+    pc_load = pcs.pc(f"{site}.load")
+    pc_store = pcs.pc(f"{site}.store")
+    rng = rng or random.Random(1)
+    for _ in range(n_passes):
+        for i in range(0, array.n_words, stride_words):
+            program.work(work_per_access)
+            addr = array.addr(i)
+            if store_fraction and rng.random() < store_fraction:
+                program.store(pc_store, addr, rng.randrange(1, 1 << 12))
+            else:
+                program.load(pc_load, addr)
+            yield
+
+
+def random_walk(
+    program: Program,
+    pcs: PcAllocator,
+    array: Array,
+    rng: random.Random,
+    site: str,
+    n_accesses: int,
+    work_per_access: int = 6,
+) -> Iterator[None]:
+    """Uniformly random indexed accesses — defeats every prefetcher."""
+    pc_load = pcs.pc(f"{site}.load")
+    for _ in range(n_accesses):
+        program.work(work_per_access)
+        program.load(pc_load, array.addr(rng.randrange(array.n_words)))
+        yield

@@ -1,0 +1,170 @@
+"""Binary trees in simulated memory, including bisort's subtree swapping.
+
+bisort is the paper's poster child for harmful content-directed prefetching
+(Section 2.3): it swaps subtrees while traversing, so pointers greedily
+prefetched under a node become useless the moment its subtree is swapped
+out.  We reproduce the structure (a binary tree whose traversal performs
+frequent random subtree swaps) so that effect emerges from the simulation
+rather than being scripted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.instruction import PcAllocator
+from repro.structures.base import Program, SilentWriter, StructLayout
+
+
+def tree_layout(data_words: int = 1, name: str = "tree_node") -> StructLayout:
+    """Node layout: key, data..., left, right."""
+    fields = (
+        ("key",)
+        + tuple(f"data_{i}" for i in range(data_words))
+        + ("left", "right")
+    )
+    return StructLayout(name, fields)
+
+
+@dataclass
+class BinaryTree:
+    layout: StructLayout
+    root: int
+    nodes: List[int]  # all node addresses, BFS order of construction
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def build_balanced_tree(
+    memory,
+    allocator,
+    n_nodes: int,
+    data_words: int = 1,
+    rng: Optional[random.Random] = None,
+    name: str = "tree_node",
+) -> BinaryTree:
+    """Build a balanced binary tree of *n_nodes*, allocated in BFS order.
+
+    BFS allocation packs siblings and near cousins into the same cache
+    blocks, which is what makes greedy CDP scan whole sub-levels at once.
+    """
+    layout = tree_layout(data_words, name)
+    writer = SilentWriter(memory)
+    rng = rng or random.Random(0)
+    addrs = [allocator.allocate(layout.size) for _ in range(n_nodes)]
+    for i, addr in enumerate(addrs):
+        left_i, right_i = 2 * i + 1, 2 * i + 2
+        fields = {
+            "key": rng.randrange(1, 1 << 20),
+            "left": addrs[left_i] if left_i < n_nodes else 0,
+            "right": addrs[right_i] if right_i < n_nodes else 0,
+        }
+        for d in range(data_words):
+            fields[f"data_{d}"] = rng.randrange(1, 1000)
+        writer.store_fields(layout, addr, fields)
+    return BinaryTree(layout, addrs[0] if addrs else 0, addrs)
+
+
+def descend(
+    program: Program,
+    pcs: PcAllocator,
+    tree: BinaryTree,
+    rng: random.Random,
+    site: str,
+    n_descents: int,
+    work_per_node: int = 10,
+) -> Iterator[None]:
+    """Random root-to-leaf searches (key compare, then one child).
+
+    Each visited node reads ``key`` and exactly one of ``left``/``right``;
+    the untaken child's pointer group is ~50 % useful, the taken one's is
+    useful — the mixed-PG situation ECDP's profiling sorts out.
+    """
+    layout = tree.layout
+    pc_key = pcs.pc(f"{site}.key")
+    pc_left = pcs.pc(f"{site}.left")
+    pc_right = pcs.pc(f"{site}.right")
+    for _ in range(n_descents):
+        node = tree.root
+        while node:
+            program.work(work_per_node)
+            program.load(pc_key, layout.addr_of(node, "key"), base=node)
+            if rng.random() < 0.5:
+                node = program.load(pc_left, layout.addr_of(node, "left"), base=node)
+            else:
+                node = program.load(pc_right, layout.addr_of(node, "right"), base=node)
+        yield
+
+
+def bitonic_sort_traversal(
+    program: Program,
+    pcs: PcAllocator,
+    tree: BinaryTree,
+    rng: random.Random,
+    site: str,
+    n_rounds: int,
+    swap_probability: float = 0.45,
+    work_per_node: int = 12,
+) -> Iterator[None]:
+    """bisort-style traversal: root-to-leaf merge passes with subtree swaps.
+
+    Each round is one bitonic merge path: descend from the root reading
+    key/left/right; with *swap_probability* the node's children are
+    swapped (two stores) before choosing which child to follow.  Both
+    child pointers are loaded at every node but only one path is taken,
+    and swaps constantly redirect that path — so pointers greedily
+    prefetched under a node are mostly never visited, reproducing the
+    pathology of paper Section 2.3.
+    """
+    layout = tree.layout
+    pc_key = pcs.pc(f"{site}.key")
+    pc_left = pcs.pc(f"{site}.left")
+    pc_right = pcs.pc(f"{site}.right")
+    pc_swap_l = pcs.pc(f"{site}.swap_left")
+    pc_swap_r = pcs.pc(f"{site}.swap_right")
+    for _ in range(n_rounds):
+        node = tree.root
+        while node:
+            program.work(work_per_node)
+            key = program.load(pc_key, layout.addr_of(node, "key"), base=node)
+            left = program.load(pc_left, layout.addr_of(node, "left"), base=node)
+            right = program.load(pc_right, layout.addr_of(node, "right"), base=node)
+            if rng.random() < swap_probability:
+                program.store(pc_swap_l, layout.addr_of(node, "left"), right)
+                program.store(pc_swap_r, layout.addr_of(node, "right"), left)
+                left, right = right, left
+            # The merge direction is data-dependent (key parity).
+            node = left if (key ^ rng.getrandbits(1)) & 1 else right
+        yield
+
+
+def inorder_walk(
+    program: Program,
+    pcs: PcAllocator,
+    tree: BinaryTree,
+    site: str,
+    touch_data: bool = True,
+    work_per_node: int = 8,
+) -> Iterator[None]:
+    """Full in-order traversal touching every node (perimeter-like usage)."""
+    layout = tree.layout
+    pc_key = pcs.pc(f"{site}.key")
+    pc_data = pcs.pc(f"{site}.data") if touch_data else 0
+    pc_left = pcs.pc(f"{site}.left")
+    pc_right = pcs.pc(f"{site}.right")
+    stack = []
+    node = tree.root
+    while stack or node:
+        while node:
+            program.work(work_per_node)
+            stack.append(node)
+            node = program.load(pc_left, layout.addr_of(node, "left"), base=node)
+        node = stack.pop()
+        program.load(pc_key, layout.addr_of(node, "key"), base=node)
+        if touch_data:
+            program.load(pc_data, layout.addr_of(node, "data_0"), base=node)
+        node = program.load(pc_right, layout.addr_of(node, "right"), base=node)
+        yield

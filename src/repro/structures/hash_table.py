@@ -1,0 +1,131 @@
+"""Chained hash table — the mst example of paper Figure 5.
+
+An array of bucket head pointers, each heading a linked chain of
+``{key, d1, d2, next}`` nodes.  ``HashLookup`` walks a chain comparing keys;
+only the matching node's data is touched.  Hence PG(key-load, offset-of-d1)
+and PG(key-load, offset-of-d2) are harmful while PG(key-load,
+offset-of-next) is beneficial — exactly the paper's worked example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.instruction import PcAllocator
+from repro.memory.address import WORD_SIZE
+from repro.structures.base import Program, SilentWriter, StructLayout
+
+
+def hash_node_layout(name: str = "hash_node") -> StructLayout:
+    """Figure 5's node: key, two data words, next."""
+    return StructLayout(name, ("key", "d1", "d2", "next"))
+
+
+@dataclass
+class HashTable:
+    layout: StructLayout
+    buckets_base: int  # address of the bucket-pointer array
+    n_buckets: int
+    chains: List[List[int]]  # node addresses per bucket
+    keys: List[int]  # all inserted keys
+
+    def bucket_addr(self, index: int) -> int:
+        return self.buckets_base + index * WORD_SIZE
+
+    def bucket_of(self, key: int) -> int:
+        return key % self.n_buckets
+
+
+def build_hash_table(
+    memory,
+    bucket_allocator,
+    node_allocator,
+    n_buckets: int,
+    n_keys: int,
+    rng: Optional[random.Random] = None,
+    name: str = "hash_node",
+    data_allocator=None,
+    data_record_words: int = 4,
+) -> HashTable:
+    """Insert *n_keys* distinct keys; chains grow at the head.
+
+    Bucket array, nodes, and data records come from separate arenas, as in
+    a real process image.  When *data_allocator* is given, the ``d1`` and
+    ``d2`` fields hold *pointers* to data records — exactly the layout of
+    paper Figure 5, where CDP greedily (and uselessly) prefetches D1/D2
+    even though only the matching node's data is ever read.
+    """
+    layout = hash_node_layout(name)
+    writer = SilentWriter(memory)
+    rng = rng or random.Random(0)
+    buckets_base = bucket_allocator.allocate(n_buckets * WORD_SIZE)
+    for i in range(n_buckets):
+        memory.write_word(buckets_base + i * WORD_SIZE, 0)
+    chains: List[List[int]] = [[] for _ in range(n_buckets)]
+    keys = rng.sample(range(1, max(4 * n_keys, 16)), n_keys)
+
+    def new_data_field() -> int:
+        if data_allocator is None:
+            return rng.randrange(1, 1000)
+        record = data_allocator.allocate(data_record_words * WORD_SIZE)
+        for word in range(data_record_words):
+            memory.write_word(record + word * WORD_SIZE, rng.randrange(1, 1000))
+        return record
+
+    for key in keys:
+        bucket = key % n_buckets
+        head_addr = buckets_base + bucket * WORD_SIZE
+        node = node_allocator.allocate(layout.size)
+        writer.store_fields(
+            layout,
+            node,
+            {
+                "key": key,
+                "d1": new_data_field(),
+                "d2": new_data_field(),
+                "next": memory.read_word(head_addr),
+            },
+        )
+        memory.write_word(head_addr, node)
+        chains[bucket].insert(0, node)
+    return HashTable(layout, buckets_base, n_buckets, chains, keys)
+
+
+def hash_lookup(
+    program: Program,
+    pcs: PcAllocator,
+    table: HashTable,
+    key: int,
+    site: str,
+    work_per_probe: int = 6,
+    data_are_pointers: bool = False,
+) -> Iterator[None]:
+    """The HashLookup function of paper Figure 5(a).
+
+    Loads the bucket head, then walks ``ent->Key != Key`` until a match;
+    on a match reads both data fields (and, when they are pointers,
+    dereferences them — the consumer of the found entry).
+    """
+    layout = table.layout
+    pc_head = pcs.pc(f"{site}.bucket_head")
+    pc_key = pcs.pc(f"{site}.key")
+    pc_next = pcs.pc(f"{site}.next")
+    pc_d1 = pcs.pc(f"{site}.d1")
+    pc_d2 = pcs.pc(f"{site}.d2")
+    pc_deref = pcs.pc(f"{site}.data_deref")
+    program.work(work_per_probe)
+    node = program.load(pc_head, table.bucket_addr(table.bucket_of(key)))
+    while node:
+        program.work(work_per_probe)
+        found = program.load(pc_key, layout.addr_of(node, "key"), base=node)
+        if found == key:
+            d1 = program.load(pc_d1, layout.addr_of(node, "d1"), base=node)
+            d2 = program.load(pc_d2, layout.addr_of(node, "d2"), base=node)
+            if data_are_pointers:
+                program.load(pc_deref, d1, base=d1)
+                program.load(pc_deref, d2, base=d2)
+            return
+        node = program.load(pc_next, layout.addr_of(node, "next"), base=node)
+        yield

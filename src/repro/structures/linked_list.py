@@ -1,0 +1,187 @@
+"""Singly linked lists in simulated memory.
+
+The workhorse LDS: health's hierarchical patient lists, parser's dictionary
+chains and pfast's alignment candidate lists are all built from these.  A
+node is ``{key, data..., next}``; because nodes of one list are allocated
+from one arena, the ``next`` field of every node in a fetched cache block
+sits at a constant offset from the field a traversal load touches — the
+pointer-group property of paper Figure 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.instruction import PcAllocator
+from repro.memory.address import WORD_SIZE
+from repro.structures.base import Program, SilentWriter, StructLayout
+
+
+def list_layout(
+    data_words: int, name: str = "list_node", with_satellite: bool = False
+) -> StructLayout:
+    """Node layout: key, data_0..data_{n-1}, [rec,] next.
+
+    ``rec`` is a pointer to a satellite record in a separate arena —
+    the object the node *describes* (a patient's record, an atom's
+    coordinates).  Satellite pointers are where content-directed
+    prefetching shines: the demand walk must serialize node -> record,
+    while CDP fetches every record in a scanned block in parallel.
+    """
+    fields = ("key",) + tuple(f"data_{i}" for i in range(data_words))
+    if with_satellite:
+        fields += ("rec",)
+    return StructLayout(name, fields + ("next",))
+
+
+@dataclass
+class LinkedList:
+    """A built list: head address plus its node layout."""
+
+    layout: StructLayout
+    head: int
+    nodes: List[int]  # addresses in list order
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def build_list(
+    memory,
+    allocator,
+    n_nodes: int,
+    data_words: int = 2,
+    keys: Optional[List[int]] = None,
+    rng: Optional[random.Random] = None,
+    shuffle_allocation: bool = False,
+    chunk_nodes: int = 0,
+    name: str = "list_node",
+    satellite_allocator=None,
+    satellite_words: int = 8,
+) -> LinkedList:
+    """Allocate and link *n_nodes* records; return the built list.
+
+    Layout options model different heap histories:
+
+    * default — link order == allocation order (a fresh heap; paper
+      Figure 3's assumption);
+    * ``chunk_nodes=K`` — runs of K consecutively-allocated nodes with the
+      runs themselves scattered (a heap that grew the list in bursts):
+      stream prefetchers lose the scent at every run boundary but pointer
+      groups stay intact;
+    * ``shuffle_allocation`` — fully scattered (an aged, churned heap;
+      paper footnote 3).
+    """
+    layout = list_layout(data_words, name, with_satellite=satellite_allocator is not None)
+    writer = SilentWriter(memory)
+    rng = rng or random.Random(0)
+    addrs = [allocator.allocate(layout.size) for _ in range(n_nodes)]
+    if shuffle_allocation:
+        rng.shuffle(addrs)
+    elif chunk_nodes > 1:
+        chunks = [
+            addrs[i:i + chunk_nodes] for i in range(0, n_nodes, chunk_nodes)
+        ]
+        rng.shuffle(chunks)
+        addrs = [addr for chunk in chunks for addr in chunk]
+    if keys is None:
+        keys = list(range(n_nodes))
+    records: List[int] = []
+    if satellite_allocator is not None:
+        # Records are placed independently of list order (objects allocated
+        # at different program times), so record derefs look random to a
+        # stream prefetcher while staying one pointer hop away from CDP.
+        records = [
+            satellite_allocator.allocate(satellite_words * WORD_SIZE)
+            for __ in range(n_nodes)
+        ]
+        rng.shuffle(records)
+        for record in records:
+            for word in range(satellite_words):
+                memory.write_word(
+                    record + word * WORD_SIZE, rng.randrange(1, 1000)
+                )
+    for i, addr in enumerate(addrs):
+        fields = {"key": keys[i] if i < len(keys) else i, "next": 0}
+        for d in range(data_words):
+            fields[f"data_{d}"] = rng.randrange(1, 1000)
+        if records:
+            fields["rec"] = records[i]
+        writer.store_fields(layout, addr, fields)
+    for prev, nxt in zip(addrs, addrs[1:]):
+        writer.store_fields(layout, prev, {"next": nxt})
+    return LinkedList(layout, addrs[0] if addrs else 0, addrs)
+
+
+def walk(
+    program: Program,
+    pcs: PcAllocator,
+    lst: LinkedList,
+    site: str,
+    touch_data: bool = False,
+    work_per_node: int = 8,
+    max_nodes: Optional[int] = None,
+    deref_satellite: bool = False,
+    satellite_touch_words: int = 2,
+) -> Iterator[None]:
+    """Traverse the list front to back, reading key then next.
+
+    ``touch_data`` additionally loads the first data word of each node,
+    the access a search hit would make.  ``deref_satellite`` follows each
+    node's ``rec`` pointer and reads the satellite record — the pattern
+    where the demand stream serializes two misses per node but CDP
+    prefetches all the records in a scanned block at once.
+    """
+    layout = lst.layout
+    pc_key = pcs.pc(f"{site}.key")
+    pc_data = pcs.pc(f"{site}.data") if touch_data else 0
+    pc_next = pcs.pc(f"{site}.next")
+    pc_rec = pcs.pc(f"{site}.rec") if deref_satellite else 0
+    pc_rec_data = pcs.pc(f"{site}.rec_data") if deref_satellite else 0
+    node = lst.head
+    visited = 0
+    while node:
+        program.work(work_per_node)
+        program.load(pc_key, layout.addr_of(node, "key"), base=node)
+        if touch_data:
+            program.load(pc_data, layout.addr_of(node, "data_0"), base=node)
+        if deref_satellite:
+            record = program.load(pc_rec, layout.addr_of(node, "rec"), base=node)
+            for word in range(satellite_touch_words):
+                program.load(pc_rec_data, record + word * 4, base=record)
+        node = program.load(pc_next, layout.addr_of(node, "next"), base=node)
+        visited += 1
+        if max_nodes is not None and visited >= max_nodes:
+            break
+        yield
+
+
+def search(
+    program: Program,
+    pcs: PcAllocator,
+    lst: LinkedList,
+    target_key: int,
+    site: str,
+    work_per_node: int = 6,
+) -> Iterator[None]:
+    """Walk the chain until *target_key* matches, then touch its data.
+
+    This is the HashLookup pattern of paper Figure 5: the data fields of
+    non-matching nodes are never read, so prefetching them (PG1/PG2 in the
+    paper) is harmful while prefetching ``next`` (PG3) is beneficial.
+    """
+    layout = lst.layout
+    pc_key = pcs.pc(f"{site}.key")
+    pc_next = pcs.pc(f"{site}.next")
+    pc_hit = pcs.pc(f"{site}.hit_data")
+    node = lst.head
+    while node:
+        program.work(work_per_node)
+        key = program.load(pc_key, layout.addr_of(node, "key"), base=node)
+        if key == target_key:
+            program.load(pc_hit, layout.addr_of(node, "data_0"), base=node)
+            return
+        node = program.load(pc_next, layout.addr_of(node, "next"), base=node)
+        yield

@@ -1,0 +1,39 @@
+"""Aggressiveness ladders and threshold constants (paper Tables 2 and 4).
+
+Every prefetcher exposes four levels, Very Conservative .. Aggressive.  The
+meaning of a level is prefetcher-specific (stream: distance/degree; CDP:
+maximum recursion depth) and lives with each prefetcher; this module holds
+the shared names and the throttling thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+LEVEL_NAMES = ("Very Conservative", "Conservative", "Moderate", "Aggressive")
+
+#: index of the most aggressive level (the baseline configuration)
+MAX_LEVEL = len(LEVEL_NAMES) - 1
+
+
+@dataclass(frozen=True)
+class ThrottleThresholds:
+    """Paper Table 4: empirically chosen, deliberately few."""
+
+    t_coverage: float = 0.2
+    a_low: float = 0.4
+    a_high: float = 0.7
+
+    def coverage_is_high(self, coverage: float) -> bool:
+        return coverage >= self.t_coverage
+
+    def accuracy_class(self, accuracy: float) -> str:
+        """'low' / 'medium' / 'high' per the two accuracy thresholds."""
+        if accuracy >= self.a_high:
+            return "high"
+        if accuracy >= self.a_low:
+            return "medium"
+        return "low"
+
+
+DEFAULT_THRESHOLDS = ThrottleThresholds()

@@ -1,0 +1,36 @@
+"""Benchmark analogs: SPEC / Olden / pfast pointer-intensive workloads and
+the non-pointer-intensive set."""
+
+from repro.workloads.base import (
+    INPUT_SETS,
+    BuildContext,
+    Workload,
+    WorkloadInstance,
+    emit,
+    interleave,
+    lds_sites_for,
+)
+from repro.workloads.registry import (
+    POINTER_INTENSIVE_ORDER,
+    REGISTRY,
+    all_names,
+    get_workload,
+    non_pointer_names,
+    pointer_intensive_names,
+)
+
+__all__ = [
+    "BuildContext",
+    "INPUT_SETS",
+    "POINTER_INTENSIVE_ORDER",
+    "REGISTRY",
+    "Workload",
+    "WorkloadInstance",
+    "all_names",
+    "emit",
+    "get_workload",
+    "interleave",
+    "lds_sites_for",
+    "non_pointer_names",
+    "pointer_intensive_names",
+]

@@ -1,0 +1,179 @@
+"""Workload framework: benchmark analogs that execute in simulated memory.
+
+A workload *builds* real data structures in a fresh simulated address space
+and returns a single-use trace generator that traverses them, emitting
+``MemOp`` records while mutating memory (so content-directed scans always
+see current pointer values).
+
+Input sets mirror the paper's methodology (Section 5): ``ref`` is the
+measured input; ``train`` is a smaller input with a different seed, used by
+the profiling compiler (Section 6.1.6 checks sensitivity to this split);
+``test`` is a miniature input for unit tests.
+
+Every static access site is pre-registered in :meth:`Workload.build` so PCs
+are identical between train and ref instances — the property that lets a
+hint table profiled on train apply to ref, exactly as a compiler embedding
+hints in the binary would behave.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import zlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.core.instruction import MemOp, PcAllocator
+from repro.memory.alloc import ArenaMap
+from repro.memory.backing import SimulatedMemory
+from repro.structures.base import Program
+
+#: input set -> (size scale, seed salt)
+#:
+#: train is smaller than ref but must stay in the same cache-pressure
+#: regime (working set >> L2) for PG classifications to transfer, just as
+#: the paper's train inputs do; 0.75x keeps every footprint comfortably
+#: above the scaled L2 while still being a genuinely different input.
+INPUT_SETS: Dict[str, Tuple[float, int]] = {
+    "ref": (1.0, 0xA11CE),
+    "train": (0.75, 0x7E571),
+    "test": (0.08, 0x0FACE),
+    # For SystemConfig.paper() (1 MB L2): footprints scale with the cache
+    # so the paper-scale machine sees the same pressure regime.  Traces
+    # are ~6x longer; expect runs of minutes each.
+    "large": (6.0, 0xB16CA),
+}
+
+
+@dataclass
+class BuildContext:
+    """Everything a workload's _build needs to lay out its world."""
+
+    memory: SimulatedMemory
+    pcs: PcAllocator
+    rng: random.Random
+    scale: float
+    arenas: ArenaMap
+
+    def n(self, base: int, minimum: int = 4) -> int:
+        """Scale an element count by the input set's size factor."""
+        return max(minimum, int(base * self.scale))
+
+    def arena(self, name: str, size: int, with_free_list: bool = False):
+        return self.arenas.new_arena(name, size, with_free_list=with_free_list)
+
+
+@dataclass
+class WorkloadInstance:
+    """A built workload, ready to produce its (single-use) trace."""
+
+    name: str
+    input_set: str
+    memory: SimulatedMemory
+    pcs: PcAllocator
+    lds_pcs: Set[int]
+    _trace_factory: Callable[[], Iterator[MemOp]] = field(repr=False)
+    _consumed: bool = field(default=False, repr=False)
+
+    def trace(self) -> Iterator[MemOp]:
+        """The trace generator.  Single use: traversals mutate memory."""
+        if self._consumed:
+            raise RuntimeError(
+                f"trace of {self.name}/{self.input_set} already consumed; "
+                "build a fresh instance"
+            )
+        self._consumed = True
+        return self._trace_factory()
+
+
+class Workload(ABC):
+    """One benchmark analog.  Subclasses define name and _build."""
+
+    name: str = ""
+    suite: str = ""
+    pointer_intensive: bool = True
+
+    def seed(self, input_set: str) -> int:
+        """Deterministic per-(workload, input-set) seed."""
+        __, salt = INPUT_SETS[input_set]
+        return zlib.crc32(f"{self.name}:{input_set}".encode()) ^ salt
+
+    def build(self, input_set: str = "ref") -> WorkloadInstance:
+        """Construct the data structures and return a runnable instance."""
+        if input_set not in INPUT_SETS:
+            raise ValueError(
+                f"unknown input set {input_set!r}; choose from {sorted(INPUT_SETS)}"
+            )
+        scale, __ = INPUT_SETS[input_set]
+        memory = SimulatedMemory()
+        pcs = PcAllocator()
+        rng = random.Random(self.seed(input_set))
+        context = BuildContext(memory, pcs, rng, scale, ArenaMap())
+        trace_factory, lds_sites = self._build(context)
+        # Pre-register every LDS site so oracle PCs and hint-table PCs are
+        # stable regardless of traversal interleaving.
+        lds_pcs = {pcs.pc(site) for site in lds_sites}
+        return WorkloadInstance(
+            self.name, input_set, memory, pcs, lds_pcs, trace_factory
+        )
+
+    @abstractmethod
+    def _build(
+        self, ctx: BuildContext
+    ) -> Tuple[Callable[[], Iterator[MemOp]], List[str]]:
+        """Lay out structures; return (trace factory, LDS site names)."""
+
+
+def emit(program: Program, *step_iterators: Iterable) -> Iterator[MemOp]:
+    """Run step iterators in sequence, flushing buffered ops per step.
+
+    Inputs may be plain step iterators (yielding None per step) or
+    op-yielding iterators such as :func:`interleave` — yielded ``MemOp``
+    items are passed through.
+    """
+    for step in itertools.chain(*step_iterators):
+        if isinstance(step, MemOp):
+            yield step
+        for op in program.drain():
+            yield op
+    for op in program.drain():
+        yield op
+
+
+def interleave(
+    program: Program,
+    step_iterators: Sequence[Iterable[None]],
+    rng: random.Random,
+    burst: int = 250,
+) -> Iterator[MemOp]:
+    """Interleave several step iterators in bursts (phased behaviour).
+
+    Models programs that alternate between, e.g., a streaming pass and a
+    pointer walk: real code runs an inner loop for a while before
+    switching activities, so each draw runs the chosen iterator for a
+    geometric burst (mean *burst* steps, i.e. thousands of instructions)
+    rather than a single step — per-access alternation would shred every
+    prefetcher's locality in a way no compiled program does.
+    """
+    active = [iter(it) for it in step_iterators]
+    switch_probability = 1.0 / max(1, burst)
+    while active:
+        chosen = rng.randrange(len(active))
+        iterator = active[chosen]
+        while True:
+            if next(iterator, StopIteration) is StopIteration:
+                active.pop(chosen)
+                break
+            for op in program.drain():
+                yield op
+            if rng.random() < switch_probability:
+                break
+    for op in program.drain():
+        yield op
+
+
+def lds_sites_for(site: str, fields: Sequence[str]) -> List[str]:
+    """Helper: fully-qualified LDS site names for a traversal call."""
+    return [f"{site}.{field}" for field in fields]

@@ -1,0 +1,346 @@
+"""Olden benchmark analogs: bisort, health, mst, perimeter, voronoi.
+
+These five drive the paper's most distinctive behaviours:
+
+* **bisort** — bitonic sort with subtree swaps; greedy CDP is disastrous
+  (Section 2.3).
+* **health** — hierarchical village/patient linked lists; the benchmark
+  where LDS prefetching pays off enormously (the paper reports it
+  separately because it skews averages).
+* **mst** — the hash-chain walk of Figure 5: only the ``next`` pointer
+  group is beneficial; the data-pointer groups are harmful.
+* **perimeter** — dense quadtree visits where every pointer loaded is
+  dereferenced; CDP accuracy is the suite's highest (83.3 %).
+* **voronoi** — tree construction/queries with a mix of fully-walked and
+  half-taken pointer groups.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.core.instruction import MemOp
+from repro.memory.address import WORD_SIZE
+from repro.structures.base import Program, SilentWriter, StructLayout
+from repro.structures.binary_tree import (
+    bitonic_sort_traversal,
+    build_balanced_tree,
+    descend,
+    inorder_walk,
+)
+from repro.structures.hash_table import build_hash_table, hash_lookup
+from repro.structures.quadtree import build_quadtree, perimeter_walk
+from repro.workloads.base import BuildContext, Workload, emit, lds_sites_for
+
+
+class Bisort(Workload):
+    """Bitonic sort over a binary tree with frequent subtree swaps."""
+
+    name = "bisort"
+    suite = "olden"
+
+    def _build(self, ctx: BuildContext):
+        n_nodes = ctx.n(14000)
+        arena = ctx.arena("tree", n_nodes * 32)
+        tree = build_balanced_tree(
+            ctx.memory, arena, n_nodes, data_words=1, rng=ctx.rng
+        )
+        rounds = ctx.n(1500, minimum=40)  # one merge descent per round
+        site = "bisort.sort"
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                bitonic_sort_traversal(
+                    program, ctx.pcs, tree, rng, site,
+                    n_rounds=rounds, swap_probability=0.45, work_per_node=70,
+                ),
+            )
+
+        return factory, lds_sites_for(site, ("key", "left", "right"))
+
+
+class Health(Workload):
+    """Hierarchy of villages, each owning a linked patient list.
+
+    Patient nodes are allocated round-robin across villages — the layout a
+    growing simulation heap produces — so consecutive list nodes land in
+    different cache blocks: stream prefetchers see noise, pointer
+    prefetchers see a chain.
+    """
+
+    name = "health"
+    suite = "olden"
+
+    VILLAGE = StructLayout(
+        "village", ("level", "patients", "child_0", "child_1", "child_2", "child_3")
+    )
+    PATIENT = StructLayout("patient", ("id", "record", "status", "next"))
+    RECORD_WORDS = 8  # the patient's medical record: a 32-byte satellite
+
+    def _build(self, ctx: BuildContext):
+        branching = 4
+        depth = 2  # 1 + 4 + 16 = 21 villages
+        n_villages = sum(branching ** level for level in range(depth + 1))
+        patients_per_village = ctx.n(320, minimum=6)
+        village_arena = ctx.arena("villages", n_villages * self.VILLAGE.size + 64)
+        patient_arena = ctx.arena(
+            "patients", n_villages * patients_per_village * self.PATIENT.size + 64
+        )
+        record_arena = ctx.arena(
+            "records",
+            n_villages * patients_per_village * self.RECORD_WORDS * 4 + 64,
+        )
+        writer = SilentWriter(ctx.memory)
+
+        villages: List[int] = [
+            village_arena.allocate(self.VILLAGE.size) for __ in range(n_villages)
+        ]
+        for index, village in enumerate(villages):
+            children = {
+                f"child_{c}": (
+                    villages[index * branching + 1 + c]
+                    if index * branching + 1 + c < n_villages
+                    else 0
+                )
+                for c in range(branching)
+            }
+            writer.store_fields(
+                self.VILLAGE, village, {"level": 0, "patients": 0, **children}
+            )
+        # Chunked round-robin patient allocation: each village's list grows
+        # in bursts of CHUNK contiguous nodes, with bursts from different
+        # villages interleaved — the layout a growing simulation heap
+        # produces.  Chains are chunk-local (pointer prefetchers can run
+        # along them) but jump across memory at every burst boundary
+        # (stream prefetchers cannot).  Medical records are placed
+        # independently of list order (shuffled), so record derefs defeat
+        # stream prefetching entirely.
+        total_patients = n_villages * patients_per_village
+        record_slots = [
+            record_arena.allocate(self.RECORD_WORDS * 4)
+            for __ in range(total_patients)
+        ]
+        ctx.rng.shuffle(record_slots)
+        chunk = 8
+        tails = [0] * n_villages
+        remaining = [patients_per_village] * n_villages
+        while any(remaining):
+            for v_index, village in enumerate(villages):
+                burst = min(chunk, remaining[v_index])
+                remaining[v_index] -= burst
+                for __ in range(burst):
+                    patient = patient_arena.allocate(self.PATIENT.size)
+                    record = record_slots.pop()
+                    for word in range(self.RECORD_WORDS):
+                        ctx.memory.write_word(
+                            record + word * 4, ctx.rng.randrange(1, 1000)
+                        )
+                    writer.store_fields(
+                        self.PATIENT,
+                        patient,
+                        {
+                            "id": ctx.rng.randrange(1, 1 << 16),
+                            "record": record,
+                            "status": ctx.rng.randrange(0, 4),
+                            "next": 0,
+                        },
+                    )
+                    if tails[v_index]:
+                        writer.store_fields(
+                            self.PATIENT, tails[v_index], {"next": patient}
+                        )
+                    else:
+                        writer.store_fields(
+                            self.VILLAGE, village, {"patients": patient}
+                        )
+                    tails[v_index] = patient
+
+        rounds = ctx.n(3, minimum=1)
+        site = "health.sim"
+        root = villages[0]
+
+        def simulate(program: Program) -> Iterator[None]:
+            pcs = ctx.pcs
+            pc_child = [pcs.pc(f"{site}.child_{c}") for c in range(branching)]
+            pc_patients = pcs.pc(f"{site}.patients")
+            pc_id = pcs.pc(f"{site}.id")
+            pc_record = pcs.pc(f"{site}.record")
+            pc_rec_data = pcs.pc(f"{site}.rec_data")
+            pc_status = pcs.pc(f"{site}.status")
+            pc_next = pcs.pc(f"{site}.next")
+            pc_update = pcs.pc(f"{site}.visit_update")
+            for __ in range(rounds):
+                stack = [root]
+                while stack:
+                    village = stack.pop()
+                    if not village:
+                        continue
+                    program.work(40)
+                    for c in range(branching):
+                        child = program.load(
+                            pc_child[c],
+                            self.VILLAGE.addr_of(village, f"child_{c}"),
+                            base=village,
+                        )
+                        if child:
+                            stack.append(child)
+                    patient = program.load(
+                        pc_patients,
+                        self.VILLAGE.addr_of(village, "patients"),
+                        base=village,
+                    )
+                    while patient:
+                        program.work(95)
+                        program.load(pc_id, self.PATIENT.addr_of(patient, "id"), base=patient)
+                        record = program.load(
+                            pc_record,
+                            self.PATIENT.addr_of(patient, "record"),
+                            base=patient,
+                        )
+                        # Examine the patient's medical record (2 words).
+                        program.load(pc_rec_data, record, base=record)
+                        program.load(pc_rec_data, record + 4, base=record)
+                        status = program.load(
+                            pc_status,
+                            self.PATIENT.addr_of(patient, "status"),
+                            base=patient,
+                        )
+                        if status == 0:
+                            program.store(pc_update, record + 8, 1)
+                        patient = program.load(
+                            pc_next,
+                            self.PATIENT.addr_of(patient, "next"),
+                            base=patient,
+                        )
+                        yield
+                    yield
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(program, simulate(program))
+
+        lds = [f"{site}.child_{c}" for c in range(branching)]
+        lds += [
+            f"{site}.patients",
+            f"{site}.id",
+            f"{site}.record",
+            f"{site}.rec_data",
+            f"{site}.status",
+            f"{site}.next",
+        ]
+        return factory, lds
+
+
+class Mst(Workload):
+    """Repeated hash-table lookups over scattered chains (paper Figure 5)."""
+
+    name = "mst"
+    suite = "olden"
+
+    def _build(self, ctx: BuildContext):
+        n_buckets = ctx.n(512, minimum=16)
+        n_keys = ctx.n(12000, minimum=64)
+        bucket_arena = ctx.arena("buckets", n_buckets * WORD_SIZE + 64)
+        node_arena = ctx.arena("nodes", n_keys * 16 + 64)
+        data_arena = ctx.arena("records", n_keys * 2 * 16 + 64)
+        table = build_hash_table(
+            ctx.memory,
+            bucket_arena,
+            node_arena,
+            n_buckets,
+            n_keys,
+            rng=ctx.rng,
+            data_allocator=data_arena,
+        )
+        n_lookups = ctx.n(650, minimum=30)
+        site = "mst.lookup"
+        key_space = max(4 * n_keys, 16)
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+
+        def lookups(program: Program) -> Iterator[None]:
+            for __ in range(n_lookups):
+                # Mostly-absent keys: chains walk to the end (Figure 5's
+                # "only one node contains the key being searched").
+                if rng.random() < 0.35:
+                    key = rng.choice(table.keys)
+                else:
+                    key = rng.randrange(1, key_space)
+                yield from hash_lookup(
+                    program, ctx.pcs, table, key, site,
+                    data_are_pointers=True, work_per_probe=45,
+                )
+                yield
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(program, lookups(program))
+
+        return factory, lds_sites_for(
+            site, ("bucket_head", "key", "next", "d1", "d2", "data_deref")
+        )
+
+
+class Perimeter(Workload):
+    """Full quadtree visits: every loaded pointer is dereferenced."""
+
+    name = "perimeter"
+    suite = "olden"
+
+    def _build(self, ctx: BuildContext):
+        depth = 7 if ctx.scale > 0.5 else (5 if ctx.scale > 0.2 else 4)
+        arena = ctx.arena("quadtree", 8_000_000)
+        tree = build_quadtree(
+            ctx.memory, arena, depth, leaf_probability=0.24, rng=ctx.rng
+        )
+        rounds = 2
+        site = "perimeter.walk"
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            walks = [
+                perimeter_walk(program, ctx.pcs, tree, site, work_per_node=55)
+                for __ in range(rounds)
+            ]
+            return emit(program, *walks)
+
+        return factory, lds_sites_for(site, ("color", "nw", "ne", "sw", "se"))
+
+
+class Voronoi(Workload):
+    """Delaunay-style tree usage: one full walk plus many point locations."""
+
+    name = "voronoi"
+    suite = "olden"
+
+    def _build(self, ctx: BuildContext):
+        n_nodes = ctx.n(5200)
+        arena = ctx.arena("tree", n_nodes * 32)
+        tree = build_balanced_tree(
+            ctx.memory, arena, n_nodes, data_words=2, rng=ctx.rng
+        )
+        n_descents = ctx.n(420, minimum=16)
+        walk_site = "voronoi.walk"
+        descend_site = "voronoi.locate"
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                inorder_walk(
+                    program, ctx.pcs, tree, walk_site,
+                    touch_data=True, work_per_node=60,
+                ),
+                descend(
+                    program, ctx.pcs, tree, rng, descend_site, n_descents,
+                    work_per_node=60,
+                ),
+            )
+
+        lds = lds_sites_for(walk_site, ("key", "data", "left", "right"))
+        lds += lds_sites_for(descend_site, ("key", "left", "right"))
+        return factory, lds

@@ -1,0 +1,204 @@
+"""Additional Olden benchmark analogs: treeadd, em3d, bh.
+
+These are not part of the paper's 15-benchmark evaluation set (Section 5
+selects only the pointer-intensive ones by its 10 %-ideal-gain criterion),
+but they are standard LDS-prefetching workloads and round out the library
+for users studying other prefetchers:
+
+* **treeadd** — recursive sum over a balanced binary tree: every pointer
+  loaded is followed, CDP-friendly like perimeter.
+* **em3d** — electromagnetic wave propagation on a bipartite graph: each
+  node's value is recomputed from a fixed out-neighbour list; pointer
+  arrays make regular-but-scattered access.
+* **bh** — Barnes-Hut n-body: an octree is rebuilt and walked with
+  cell-opening tests, so only a data-dependent subset of children is
+  visited (mixed PG usefulness).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.core.instruction import MemOp
+from repro.memory.address import WORD_SIZE
+from repro.structures.base import Program, SilentWriter, StructLayout
+from repro.structures.binary_tree import build_balanced_tree, inorder_walk
+from repro.workloads.base import BuildContext, Workload, emit, lds_sites_for
+
+
+class Treeadd(Workload):
+    """Full recursive tree sum — every child pointer is dereferenced."""
+
+    name = "treeadd"
+    suite = "olden-extra"
+
+    def _build(self, ctx: BuildContext):
+        n_nodes = ctx.n(12000)
+        arena = ctx.arena("tree", n_nodes * 32)
+        tree = build_balanced_tree(
+            ctx.memory, arena, n_nodes, data_words=1, rng=ctx.rng
+        )
+        rounds = 2
+        site = "treeadd.sum"
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            walks = [
+                inorder_walk(
+                    program, ctx.pcs, tree, site,
+                    touch_data=True, work_per_node=45,
+                )
+                for __ in range(rounds)
+            ]
+            return emit(program, *walks)
+
+        return factory, lds_sites_for(site, ("key", "data", "left", "right"))
+
+
+class Em3d(Workload):
+    """Bipartite-graph wave propagation with out-neighbour pointer lists."""
+
+    name = "em3d"
+    suite = "olden-extra"
+
+    NODE = StructLayout(
+        "em3d_node",
+        ("value", "from_count") + tuple(f"from_{i}" for i in range(4)),
+    )
+
+    def _build(self, ctx: BuildContext):
+        n_per_side = ctx.n(5200)
+        arena_e = ctx.arena("enodes", n_per_side * self.NODE.size + 64)
+        arena_h = ctx.arena("hnodes", n_per_side * self.NODE.size + 64)
+        writer = SilentWriter(ctx.memory)
+
+        def build_side(arena, others: List[int]) -> List[int]:
+            nodes = [arena.allocate(self.NODE.size) for __ in range(n_per_side)]
+            for node in nodes:
+                fields = {"value": ctx.rng.randrange(1, 1000), "from_count": 4}
+                for i in range(4):
+                    fields[f"from_{i}"] = (
+                        ctx.rng.choice(others) if others else 0
+                    )
+                writer.store_fields(self.NODE, node, fields)
+            return nodes
+
+        e_nodes = build_side(arena_e, [])
+        h_nodes = build_side(arena_h, e_nodes)
+        # Wire the E side to H now that H exists.
+        for node in e_nodes:
+            for i in range(4):
+                ctx.memory.write_word(
+                    self.NODE.addr_of(node, f"from_{i}"), ctx.rng.choice(h_nodes)
+                )
+
+        iterations = 2
+        site = "em3d.compute"
+
+        def compute(program: Program) -> Iterator[None]:
+            pcs = ctx.pcs
+            pc_from = [pcs.pc(f"{site}.from_{i}") for i in range(4)]
+            pc_value = pcs.pc(f"{site}.value")
+            pc_update = pcs.pc(f"{site}.update")
+            for __ in range(iterations):
+                for side in (e_nodes, h_nodes):
+                    for node in side:
+                        program.work(40)
+                        total = 0
+                        for i in range(4):
+                            neighbour = program.load(
+                                pc_from[i],
+                                self.NODE.addr_of(node, f"from_{i}"),
+                                base=node,
+                            )
+                            total += program.load(
+                                pc_value,
+                                self.NODE.addr_of(neighbour, "value"),
+                                base=neighbour,
+                            )
+                        program.store(
+                            pc_update,
+                            self.NODE.addr_of(node, "value"),
+                            total & 0xFFF,
+                        )
+                        yield
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(program, compute(program))
+
+        lds = [f"{site}.from_{i}" for i in range(4)] + [f"{site}.value"]
+        return factory, lds
+
+
+class BarnesHut(Workload):
+    """Octree force walk with data-dependent cell opening."""
+
+    name = "bh"
+    suite = "olden-extra"
+
+    CELL = StructLayout(
+        "bh_cell",
+        ("mass", "pos") + tuple(f"child_{i}" for i in range(8)),
+    )
+
+    def _build(self, ctx: BuildContext):
+        n_cells = ctx.n(6000)
+        arena = ctx.arena("octree", n_cells * self.CELL.size + 64)
+        writer = SilentWriter(ctx.memory)
+        cells = [arena.allocate(self.CELL.size) for __ in range(n_cells)]
+        for index, cell in enumerate(cells):
+            fields = {
+                "mass": ctx.rng.randrange(1, 1 << 12),
+                "pos": ctx.rng.randrange(1, 1 << 12),
+            }
+            for c in range(8):
+                child_index = index * 8 + 1 + c
+                fields[f"child_{c}"] = (
+                    cells[child_index] if child_index < n_cells else 0
+                )
+            writer.store_fields(self.CELL, cell, fields)
+
+        n_bodies = ctx.n(260, minimum=8)
+        site = "bh.force"
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+        root = cells[0]
+
+        def force_walks(program: Program) -> Iterator[None]:
+            pcs = ctx.pcs
+            pc_mass = pcs.pc(f"{site}.mass")
+            pc_pos = pcs.pc(f"{site}.pos")
+            pc_child = [pcs.pc(f"{site}.child_{c}") for c in range(8)]
+            for __ in range(n_bodies):
+                stack = [root]
+                while stack:
+                    cell = stack.pop()
+                    if not cell:
+                        continue
+                    program.work(35)
+                    program.load(pc_mass, self.CELL.addr_of(cell, "mass"), base=cell)
+                    pos = program.load(
+                        pc_pos, self.CELL.addr_of(cell, "pos"), base=cell
+                    )
+                    # Cell-opening test: far cells are approximated by
+                    # their aggregate (children skipped); near cells open.
+                    if (pos ^ rng.getrandbits(12)) & 0x3:
+                        continue
+                    for c in range(8):
+                        child = program.load(
+                            pc_child[c],
+                            self.CELL.addr_of(cell, f"child_{c}"),
+                            base=cell,
+                        )
+                        if child:
+                            stack.append(child)
+                yield
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(program, force_walks(program))
+
+        lds = [f"{site}.mass", f"{site}.pos"]
+        lds += [f"{site}.child_{c}" for c in range(8)]
+        return factory, lds

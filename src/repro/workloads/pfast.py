@@ -1,0 +1,88 @@
+"""pfast analog — parallel fast alignment search tool (paper Section 5).
+
+The bioinformatics workload the paper adds to the SPEC/Olden suites:
+genome alignment candidate lists are pointer-chased per query against a
+streamed reference sequence.  Roughly a third of CDP's prefetches are
+useful here (Table 1: 37.4 %) — candidate chains are walked until a score
+threshold, so tail pointers go unused.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.instruction import MemOp
+from repro.structures.arrays import build_array, sequential_walk
+from repro.structures.base import Program
+from repro.structures.linked_list import build_list, walk
+from repro.workloads.base import BuildContext, Workload, emit, interleave, lds_sites_for
+
+
+class Pfast(Workload):
+    name = "pfast"
+    suite = "bio"
+
+    def _build(self, ctx: BuildContext):
+        reference = build_array(
+            ctx.memory, ctx.arena("reference", 700_000), ctx.n(34000), rng=ctx.rng
+        )
+        n_chains = 10
+        chains = []
+        chain_arena = ctx.arena("candidates", 700_000)
+        segment_arena = ctx.arena("segments", 900_000)
+        for index in range(n_chains):
+            chains.append(
+                build_list(
+                    ctx.memory,
+                    chain_arena,
+                    ctx.n(1500),
+                    data_words=2,
+                    rng=ctx.rng,
+                    chunk_nodes=8,
+                    name="candidate",
+                    satellite_allocator=segment_arena,
+                    satellite_words=8,
+                )
+            )
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+        chain_site = "pfast.candidates"
+        n_queries = ctx.n(56, minimum=4)
+
+        def queries(program: Program) -> Iterator[None]:
+            for __ in range(n_queries):
+                chain = rng.choice(chains)
+                # Walk until an alignment score threshold: a random prefix.
+                prefix = rng.randrange(len(chain) // 4, len(chain))
+                yield from walk(
+                    program,
+                    ctx.pcs,
+                    chain,
+                    chain_site,
+                    touch_data=True,
+                    max_nodes=prefix,
+                    deref_satellite=True,
+                    work_per_node=60,
+                )
+                yield
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                interleave(
+                    program,
+                    [
+                        queries(program),
+                        sequential_walk(
+                            program, ctx.pcs, reference, "pfast.reference",
+                            n_passes=1, work_per_access=10,
+                        ),
+                    ],
+                    rng,
+                ),
+            )
+
+        return factory, lds_sites_for(
+            chain_site, ("key", "data", "rec", "rec_data", "next")
+        )

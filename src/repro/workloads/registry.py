@@ -1,0 +1,105 @@
+"""Workload registry: every benchmark analog by name, grouped as the paper
+groups them (pointer-intensive evaluation set vs. the rest)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.base import Workload
+from repro.workloads.olden import Bisort, Health, Mst, Perimeter, Voronoi
+from repro.workloads.olden_extra import BarnesHut, Em3d, Treeadd
+from repro.workloads.pfast import Pfast
+from repro.workloads.spec_fp import Ammp, Art
+from repro.workloads.spec_int import (
+    Astar,
+    Gcc,
+    Mcf,
+    Omnetpp,
+    Parser,
+    Perlbench,
+    Xalancbmk,
+)
+from repro.workloads.streaming import (
+    Bwaves,
+    Gemsfdtd,
+    H264ref,
+    Libquantum,
+    Milc,
+    Sjeng,
+)
+
+#: paper Section 5's evaluation order (Table 1 / Table 6 column order)
+POINTER_INTENSIVE_ORDER: List[str] = [
+    "perlbench",
+    "gcc",
+    "mcf",
+    "astar",
+    "xalancbmk",
+    "omnetpp",
+    "parser",
+    "art",
+    "ammp",
+    "bisort",
+    "health",
+    "mst",
+    "perimeter",
+    "voronoi",
+    "pfast",
+]
+
+_ALL_CLASSES: List[Type[Workload]] = [
+    Perlbench,
+    Gcc,
+    Mcf,
+    Astar,
+    Xalancbmk,
+    Omnetpp,
+    Parser,
+    Art,
+    Ammp,
+    Bisort,
+    Health,
+    Mst,
+    Perimeter,
+    Voronoi,
+    Pfast,
+    Libquantum,
+    Gemsfdtd,
+    H264ref,
+    Bwaves,
+    Milc,
+    Sjeng,
+    # Extra Olden analogs — not part of the paper's 15-benchmark set but
+    # available for further study (suite "olden-extra").
+    Treeadd,
+    Em3d,
+    BarnesHut,
+]
+
+REGISTRY: Dict[str, Type[Workload]] = {cls.name: cls for cls in _ALL_CLASSES}
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate the workload class registered under *name*."""
+    try:
+        return REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+def pointer_intensive_names() -> List[str]:
+    """The paper's 15-benchmark evaluation set, in reporting order."""
+    return list(POINTER_INTENSIVE_ORDER)
+
+
+def non_pointer_names() -> List[str]:
+    """The Section 6.7 set: analogs with little LDS prefetching potential."""
+    return [
+        cls.name for cls in _ALL_CLASSES if not cls.pointer_intensive
+    ]
+
+
+def all_names() -> List[str]:
+    return [cls.name for cls in _ALL_CLASSES]

@@ -1,0 +1,119 @@
+"""SPEC floating-point analogs from the paper's pointer-intensive set."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.instruction import MemOp
+from repro.structures.arrays import build_array, sequential_walk
+from repro.structures.base import Program
+from repro.structures.linked_list import build_list, walk
+from repro.workloads.base import BuildContext, Workload, emit, interleave, lds_sites_for
+
+
+class Art(Workload):
+    """Adaptive resonance: large weight-array sweeps, tiny pointer part.
+
+    art is in the pointer-intensive set but gains little from LDS
+    prefetching (paper Table 6: +1.3 %); the stream prefetcher does the
+    work.  CDP sees few pointers — weight arrays hold non-pointer values.
+    """
+
+    name = "art"
+    suite = "spec2000"
+
+    def _build(self, ctx: BuildContext):
+        f1 = build_array(
+            ctx.memory, ctx.arena("f1_weights", 800_000), ctx.n(44000), rng=ctx.rng
+        )
+        f2 = build_array(
+            ctx.memory, ctx.arena("f2_weights", 400_000), ctx.n(20000), rng=ctx.rng
+        )
+        neuron_list = build_list(
+            ctx.memory,
+            ctx.arena("neurons", 40_000),
+            ctx.n(1100),
+            data_words=2,
+            rng=ctx.rng,
+            name="neuron",
+        )
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+        list_site = "art.winners"
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                interleave(
+                    program,
+                    [
+                        sequential_walk(
+                            program, ctx.pcs, f1, "art.f1",
+                            n_passes=2, work_per_access=10,
+                        ),
+                        sequential_walk(
+                            program, ctx.pcs, f2, "art.f2", stride_words=2,
+                            n_passes=2, work_per_access=10,
+                        ),
+                        walk(program, ctx.pcs, neuron_list, list_site, work_per_node=40),
+                    ],
+                    rng,
+                ),
+            )
+
+        return factory, lds_sites_for(list_site, ("key", "next"))
+
+
+class Ammp(Workload):
+    """Molecular dynamics: atom-list walks with neighbour-array streaming.
+
+    ammp's atom records live on linked lists walked fully every timestep —
+    beneficial pointer groups throughout — alongside coordinate arrays the
+    stream prefetcher handles.  One of the paper's big winners (+74.9 %).
+    """
+
+    name = "ammp"
+    suite = "spec2000"
+
+    def _build(self, ctx: BuildContext):
+        n_atoms = ctx.n(4600)
+        atoms = build_list(
+            ctx.memory,
+            ctx.arena("atoms", 600_000),
+            n_atoms,
+            data_words=1,
+            rng=ctx.rng,
+            chunk_nodes=8,
+            name="atom",
+            satellite_allocator=ctx.arena("atom_coords", n_atoms * 40 + 64),
+            satellite_words=8,
+        )
+        coords = build_array(
+            ctx.memory, ctx.arena("coords", 400_000), ctx.n(20000), rng=ctx.rng
+        )
+        timesteps = 3
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+        list_site = "ammp.atoms"
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            phases = []
+            for __ in range(timesteps):
+                phases.append(
+                    walk(
+                        program, ctx.pcs, atoms, list_site,
+                        touch_data=True, deref_satellite=True, work_per_node=75,
+                    )
+                )
+                phases.append(
+                    sequential_walk(
+                        program, ctx.pcs, coords, "ammp.coords",
+                        n_passes=1, work_per_access=10,
+                    )
+                )
+            return emit(program, interleave(program, phases, rng))
+
+        return factory, lds_sites_for(
+            list_site, ("key", "data", "rec", "rec_data", "next")
+        )

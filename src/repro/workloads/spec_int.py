@@ -1,0 +1,475 @@
+"""SPEC CPU2000/2006 integer benchmark analogs (the pointer-intensive ones).
+
+Each analog reproduces the documented memory behaviour that matters to the
+paper's mechanisms — the ratio of streaming to pointer-chasing misses, and
+which pointer groups are beneficial — not the computation itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.core.instruction import MemOp
+from repro.memory.address import WORD_SIZE
+from repro.structures.arrays import build_array, sequential_walk
+from repro.structures.base import Program, SilentWriter, StructLayout
+from repro.structures.binary_tree import (
+    build_balanced_tree,
+    descend,
+    inorder_walk,
+)
+from repro.structures.graph import build_graph, pivot_walk
+from repro.structures.hash_table import build_hash_table, hash_lookup
+from repro.structures.linked_list import build_list, walk
+from repro.workloads.base import (
+    BuildContext,
+    Workload,
+    emit,
+    interleave,
+    lds_sites_for,
+)
+
+
+class Mcf(Workload):
+    """Network simplex: data-dependent arc chasing through a huge graph."""
+
+    name = "mcf"
+    suite = "spec2006"
+
+    def _build(self, ctx: BuildContext):
+        n_nodes = ctx.n(14000)
+        arena = ctx.arena("network", n_nodes * 24 + 64)
+        graph = build_graph(
+            ctx.memory, arena, n_nodes, n_arcs_per_node=4, data_words=2, rng=ctx.rng
+        )
+        n_steps = ctx.n(7200, minimum=100)
+        site = "mcf.simplex"
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program, pivot_walk(
+                    program, ctx.pcs, graph, rng, site, n_steps, work_per_step=70
+                )
+            )
+
+        lds = [f"{site}.cost"] + [f"{site}.arc_{a}" for a in range(4)]
+        return factory, lds
+
+
+class Astar(Workload):
+    """Grid scans (streaming) interleaved with open-list pointer walks."""
+
+    name = "astar"
+    suite = "spec2006"
+
+    def _build(self, ctx: BuildContext):
+        grid = build_array(
+            ctx.memory, ctx.arena("grid", 600_000), ctx.n(36000), rng=ctx.rng
+        )
+        list_arena = ctx.arena("openlist", 400_000)
+        n_open = ctx.n(6400)
+        open_list = build_list(
+            ctx.memory,
+            list_arena,
+            n_open,
+            data_words=2,
+            rng=ctx.rng,
+            chunk_nodes=8,
+            name="astar_node",
+            satellite_allocator=ctx.arena("astar_states", n_open * 24 + 64),
+            satellite_words=4,
+        )
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+        grid_site = "astar.grid"
+        list_site = "astar.openlist"
+        n_list_rounds = 3
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            walks = [
+                sequential_walk(
+                    program, ctx.pcs, grid, grid_site, stride_words=2,
+                    n_passes=1, work_per_access=10,
+                ),
+            ]
+            walks += [
+                walk(
+                    program, ctx.pcs, open_list, list_site,
+                    touch_data=True, deref_satellite=True, work_per_node=65,
+                )
+                for __ in range(n_list_rounds)
+            ]
+            return emit(
+                program,
+                interleave(program, walks, rng),
+            )
+
+        return factory, lds_sites_for(
+            list_site, ("key", "data", "rec", "rec_data", "next")
+        )
+
+
+class Xalancbmk(Workload):
+    """DOM-tree path queries: wide nodes, a single child taken per level."""
+
+    name = "xalancbmk"
+    suite = "spec2006"
+
+    FANOUT = 6
+    NODE = StructLayout(
+        "dom_node",
+        ("tag", "value") + tuple(f"child_{c}" for c in range(6)),
+    )
+
+    def _build(self, ctx: BuildContext):
+        n_nodes = ctx.n(20000)
+        arena = ctx.arena("dom", n_nodes * self.NODE.size + 64)
+        writer = SilentWriter(ctx.memory)
+        nodes: List[int] = [
+            arena.allocate(self.NODE.size) for __ in range(n_nodes)
+        ]
+        for index, node in enumerate(nodes):
+            fields = {"tag": ctx.rng.randrange(1, 64), "value": ctx.rng.randrange(1, 512)}
+            for c in range(self.FANOUT):
+                child_index = index * self.FANOUT + 1 + c
+                fields[f"child_{c}"] = (
+                    nodes[child_index] if child_index < n_nodes else 0
+                )
+            writer.store_fields(self.NODE, node, fields)
+
+        n_queries = ctx.n(1800, minimum=40)
+        site = "xalancbmk.xpath"
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+        root = nodes[0]
+
+        def queries(program: Program) -> Iterator[None]:
+            pcs = ctx.pcs
+            pc_tag = pcs.pc(f"{site}.tag")
+            pc_child = [pcs.pc(f"{site}.child_{c}") for c in range(self.FANOUT)]
+            for __ in range(n_queries):
+                node = root
+                while node:
+                    program.work(65)
+                    tag = program.load(pc_tag, self.NODE.addr_of(node, "tag"), base=node)
+                    choice = (tag + rng.randrange(self.FANOUT)) % self.FANOUT
+                    node = program.load(
+                        pc_child[choice],
+                        self.NODE.addr_of(node, f"child_{choice}"),
+                        base=node,
+                    )
+                yield
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(program, queries(program))
+
+        lds = [f"{site}.tag"] + [f"{site}.child_{c}" for c in range(self.FANOUT)]
+        return factory, lds
+
+
+class Omnetpp(Workload):
+    """Discrete-event simulation: sorted event queue over a drifting heap.
+
+    Events carry a pointer to a message payload object; popping an event
+    dereferences its payload (always — a beneficial pointer group).  The
+    queue is never recycled (fresh allocations drift through the heap),
+    so the walk keeps touching cold blocks the way a long-running
+    simulator's event heap does.
+    """
+
+    name = "omnetpp"
+    suite = "spec2006"
+
+    EVENT = StructLayout("event", ("time", "kind", "payload", "next"))
+    PAYLOAD_WORDS = 8
+
+    def _build(self, ctx: BuildContext):
+        n_initial = ctx.n(4800)
+        n_events = ctx.n(2600, minimum=40)
+        arena = ctx.arena(
+            "events", (n_initial + n_events + 64) * self.EVENT.size + 64
+        )
+        payload_arena = ctx.arena(
+            "payloads", (n_initial + n_events + 64) * self.PAYLOAD_WORDS * 4 + 64
+        )
+        writer = SilentWriter(ctx.memory)
+
+        def new_payload(rng: random.Random) -> int:
+            payload = payload_arena.allocate(self.PAYLOAD_WORDS * 4)
+            for word in range(self.PAYLOAD_WORDS):
+                ctx.memory.write_word(payload + word * 4, rng.randrange(1, 512))
+            return payload
+
+        # Build the initial sorted queue with a shuffled layout and
+        # shuffled payload placement (messages allocated at random times).
+        addrs = [arena.allocate(self.EVENT.size) for __ in range(n_initial)]
+        payloads = [new_payload(ctx.rng) for __ in range(n_initial)]
+        chunks = [addrs[i:i + 8] for i in range(0, n_initial, 8)]
+        ctx.rng.shuffle(chunks)
+        shuffled = [addr for chunk in chunks for addr in chunk]
+        ctx.rng.shuffle(payloads)
+        times = sorted(ctx.rng.randrange(1, 1 << 20) for __ in range(n_initial))
+        for addr, time, payload in zip(shuffled, times, payloads):
+            writer.store_fields(
+                self.EVENT,
+                addr,
+                {
+                    "time": time,
+                    "kind": ctx.rng.randrange(8),
+                    "payload": payload,
+                    "next": 0,
+                },
+            )
+        for prev, nxt in zip(shuffled, shuffled[1:]):
+            writer.store_fields(self.EVENT, prev, {"next": nxt})
+        head_cell = ctx.arena("queue_cells", 64).allocate(WORD_SIZE)
+        tail_cell = head_cell + WORD_SIZE
+        ctx.memory.write_word(head_cell, shuffled[0])
+        ctx.memory.write_word(tail_cell, shuffled[-1])
+
+        site = "omnetpp.sched"
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+
+        def simulate(program: Program) -> Iterator[None]:
+            """Drain the event queue, handling each message.
+
+            A calendar-queue scheduler makes insertion O(1) (a bucket
+            append), so the memory behaviour is dominated by the *drain*:
+            pop the head, read the event, dereference its message payload.
+            40 % of events schedule a follow-up, appended at the tail.
+            """
+            pcs = ctx.pcs
+            pc_head = pcs.pc(f"{site}.head")
+            pc_time = pcs.pc(f"{site}.time")
+            pc_kind = pcs.pc(f"{site}.kind")
+            pc_payload = pcs.pc(f"{site}.payload")
+            pc_msg = pcs.pc(f"{site}.msg_data")
+            pc_next = pcs.pc(f"{site}.next")
+            pc_tail = pcs.pc(f"{site}.tail")
+            pc_link = pcs.pc(f"{site}.link_store")
+            pc_pop = pcs.pc(f"{site}.pop_store")
+            for __ in range(n_events):
+                # Pop the head event; cancelled events (a quarter — real
+                # omnetpp models cancel timers constantly) are unlinked
+                # without their message ever being read, so greedily
+                # prefetched payloads go unused.
+                head = program.load(pc_head, head_cell)
+                if not head:
+                    return
+                program.work(90)
+                program.load(pc_time, self.EVENT.addr_of(head, "time"), base=head)
+                cancelled = rng.random() < 0.25
+                if not cancelled:
+                    program.load(pc_kind, self.EVENT.addr_of(head, "kind"), base=head)
+                    message = program.load(
+                        pc_payload, self.EVENT.addr_of(head, "payload"), base=head
+                    )
+                    program.load(pc_msg, message, base=message)
+                    program.load(pc_msg, message + 4, base=message)
+                nxt = program.load(pc_next, self.EVENT.addr_of(head, "next"), base=head)
+                program.store(pc_pop, head_cell, nxt)
+                # Schedule a follow-up event at the tail (O(1) append).
+                if rng.random() < 0.4:
+                    event = arena.allocate(self.EVENT.size)
+                    writer.store_fields(
+                        self.EVENT,
+                        event,
+                        {
+                            "time": rng.randrange(1, 1 << 20),
+                            "kind": rng.randrange(8),
+                            "payload": new_payload(rng),
+                            "next": 0,
+                        },
+                    )
+                    tail = program.load(pc_tail, tail_cell)
+                    if tail:
+                        program.store(
+                            pc_link, self.EVENT.addr_of(tail, "next"), event
+                        )
+                    program.store(pc_link, tail_cell, event)
+                yield
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(program, simulate(program))
+
+        return factory, [
+            f"{site}.{f}"
+            for f in ("head", "time", "kind", "payload", "msg_data", "next")
+        ]
+
+
+class Parser(Workload):
+    """Dictionary lookups: hash chains plus word-list scans."""
+
+    name = "parser"
+    suite = "spec2000"
+
+    def _build(self, ctx: BuildContext):
+        n_buckets = ctx.n(128, minimum=8)
+        n_keys = ctx.n(2200, minimum=64)
+        table = build_hash_table(
+            ctx.memory,
+            ctx.arena("dict_buckets", n_buckets * WORD_SIZE + 64),
+            ctx.arena("dict_nodes", n_keys * 16 + 64),
+            n_buckets,
+            n_keys,
+            rng=ctx.rng,
+        )
+        word_list = build_list(
+            ctx.memory,
+            ctx.arena("wordlist", 300_000),
+            ctx.n(2600),
+            data_words=1,
+            rng=ctx.rng,
+            chunk_nodes=8,
+            name="word_node",
+        )
+        n_lookups = ctx.n(900, minimum=30)
+        lookup_site = "parser.dict"
+        list_site = "parser.words"
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+
+        def lookups(program: Program) -> Iterator[None]:
+            for __ in range(n_lookups):
+                # Parser mostly looks up words that exist.
+                if rng.random() < 0.7:
+                    key = rng.choice(table.keys)
+                else:
+                    key = rng.randrange(1, max(4 * n_keys, 16))
+                yield from hash_lookup(
+                    program, ctx.pcs, table, key, lookup_site, work_per_probe=45
+                )
+                yield
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                interleave(
+                    program,
+                    [
+                        lookups(program),
+                        walk(program, ctx.pcs, word_list, list_site, work_per_node=50),
+                        walk(program, ctx.pcs, word_list, list_site, work_per_node=50),
+                    ],
+                    rng,
+                ),
+            )
+
+        lds = lds_sites_for(lookup_site, ("bucket_head", "key", "next", "d1", "d2"))
+        lds += lds_sites_for(list_site, ("key", "next"))
+        return factory, lds
+
+
+class Perlbench(Workload):
+    """Interpreter analog: symbol-table chains plus string streaming."""
+
+    name = "perlbench"
+    suite = "spec2006"
+
+    def _build(self, ctx: BuildContext):
+        n_buckets = ctx.n(512, minimum=16)
+        n_keys = ctx.n(5000, minimum=64)
+        table = build_hash_table(
+            ctx.memory,
+            ctx.arena("symtab_buckets", n_buckets * WORD_SIZE + 64),
+            ctx.arena("symtab_nodes", n_keys * 16 + 64),
+            n_buckets,
+            n_keys,
+            rng=ctx.rng,
+            data_allocator=ctx.arena("symtab_values", n_keys * 2 * 16 + 64),
+        )
+        strings = build_array(
+            ctx.memory, ctx.arena("strings", 500_000), ctx.n(26000), rng=ctx.rng
+        )
+        n_lookups = ctx.n(700, minimum=20)
+        hash_site = "perlbench.symtab"
+        string_site = "perlbench.strings"
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+
+        def lookups(program: Program) -> Iterator[None]:
+            for __ in range(n_lookups):
+                if rng.random() < 0.8:
+                    key = rng.choice(table.keys)
+                else:
+                    key = rng.randrange(1, max(4 * n_keys, 16))
+                yield from hash_lookup(
+                    program, ctx.pcs, table, key, hash_site,
+                    work_per_probe=45, data_are_pointers=True,
+                )
+                yield
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                interleave(
+                    program,
+                    [
+                        lookups(program),
+                        sequential_walk(
+                            program, ctx.pcs, strings, string_site,
+                            n_passes=1, work_per_access=10,
+                        ),
+                    ],
+                    rng,
+                ),
+            )
+
+        lds = lds_sites_for(
+            hash_site, ("bucket_head", "key", "next", "d1", "d2", "data_deref")
+        )
+        return factory, lds
+
+
+class Gcc(Workload):
+    """Compiler analog: heavy IR-array streaming, light tree walking.
+
+    The stream prefetcher already covers most of gcc (57 % coverage in
+    paper Figure 1) — the LDS part is small, so ECDP must mostly stay out
+    of the way here.
+    """
+
+    name = "gcc"
+    suite = "spec2006"
+
+    def _build(self, ctx: BuildContext):
+        ir_a = build_array(
+            ctx.memory, ctx.arena("ir_a", 700_000), ctx.n(40000), rng=ctx.rng
+        )
+        ir_b = build_array(
+            ctx.memory, ctx.arena("ir_b", 500_000), ctx.n(26000), rng=ctx.rng
+        )
+        tree = build_balanced_tree(
+            ctx.memory, ctx.arena("ast", 200_000), ctx.n(5600), rng=ctx.rng
+        )
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+        site_a, site_b = "gcc.rtl_pass", "gcc.df_pass"
+        tree_site = "gcc.ast"
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                interleave(
+                    program,
+                    [
+                        sequential_walk(
+                            program, ctx.pcs, ir_a, site_a,
+                            n_passes=2, work_per_access=10,
+                        ),
+                        sequential_walk(
+                            program, ctx.pcs, ir_b, site_b, stride_words=2,
+                            n_passes=2, work_per_access=10,
+                        ),
+                        inorder_walk(program, ctx.pcs, tree, tree_site, work_per_node=50),
+                    ],
+                    rng,
+                ),
+            )
+
+        return factory, lds_sites_for(tree_site, ("key", "data", "left", "right"))

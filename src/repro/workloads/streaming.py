@@ -1,0 +1,191 @@
+"""Non-pointer-intensive benchmark analogs.
+
+Used for paper Section 6.7 (our mechanism must not hurt workloads with no
+LDS misses) and as the non-intensive halves of the multi-core mixes in
+Section 6.6.  Their misses are streaming or effectively random — nothing
+for CDP to find, plenty for the stream prefetcher.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.instruction import MemOp
+from repro.structures.arrays import build_array, random_walk, sequential_walk
+from repro.structures.base import Program
+from repro.workloads.base import BuildContext, Workload, emit, interleave
+
+
+class Libquantum(Workload):
+    """Single huge sequential sweep, repeated — ideal stream territory."""
+
+    name = "libquantum"
+    suite = "spec2006"
+    pointer_intensive = False
+
+    def _build(self, ctx: BuildContext):
+        reg = build_array(
+            ctx.memory, ctx.arena("qreg", 900_000), ctx.n(52000), rng=ctx.rng
+        )
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                sequential_walk(
+                    program, ctx.pcs, reg, "libquantum.gate",
+                    n_passes=2, store_fraction=0.3, rng=ctx.rng,
+                    work_per_access=12,
+                ),
+            )
+
+        return factory, []
+
+
+class Gemsfdtd(Workload):
+    """Finite-difference time domain: several strided field sweeps."""
+
+    name = "GemsFDTD"
+    suite = "spec2006"
+    pointer_intensive = False
+
+    def _build(self, ctx: BuildContext):
+        fields = [
+            build_array(
+                ctx.memory, ctx.arena(f"field_{i}", 400_000), ctx.n(22000), rng=ctx.rng
+            )
+            for i in range(3)
+        ]
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            sweeps = [
+                sequential_walk(
+                    program, ctx.pcs, array, f"gems.sweep_{i}",
+                    stride_words=(1 if i == 0 else 2), n_passes=2, work_per_access=12,
+                )
+                for i, array in enumerate(fields)
+            ]
+            return emit(program, interleave(program, sweeps, rng))
+
+        return factory, []
+
+
+class H264ref(Workload):
+    """Video encoding: block-sequential reads with local random probes."""
+
+    name = "h264ref"
+    suite = "spec2006"
+    pointer_intensive = False
+
+    def _build(self, ctx: BuildContext):
+        frame = build_array(
+            ctx.memory, ctx.arena("frame", 600_000), ctx.n(30000), rng=ctx.rng
+        )
+        search = build_array(
+            ctx.memory, ctx.arena("search", 120_000), ctx.n(6000), rng=ctx.rng
+        )
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                interleave(
+                    program,
+                    [
+                        sequential_walk(
+                            program, ctx.pcs, frame, "h264.frame",
+                            n_passes=2, work_per_access=12,
+                        ),
+                        random_walk(
+                            program, ctx.pcs, search, rng, "h264.motion",
+                            n_accesses=ctx.n(2400, minimum=20), work_per_access=20,
+                        ),
+                    ],
+                    rng,
+                ),
+            )
+
+        return factory, []
+
+
+class Bwaves(Workload):
+    """Blast waves: strided FP sweeps over a large state array."""
+
+    name = "bwaves"
+    suite = "spec2006"
+    pointer_intensive = False
+
+    def _build(self, ctx: BuildContext):
+        state = build_array(
+            ctx.memory, ctx.arena("state", 800_000), ctx.n(44000), rng=ctx.rng
+        )
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                sequential_walk(
+                    program, ctx.pcs, state, "bwaves.sweep", stride_words=4,
+                    n_passes=3, work_per_access=14,
+                ),
+            )
+
+        return factory, []
+
+
+class Milc(Workload):
+    """Lattice QCD: sequential sweeps with periodic writes."""
+
+    name = "milc"
+    suite = "spec2006"
+    pointer_intensive = False
+
+    def _build(self, ctx: BuildContext):
+        lattice = build_array(
+            ctx.memory, ctx.arena("lattice", 700_000), ctx.n(38000), rng=ctx.rng
+        )
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                sequential_walk(
+                    program, ctx.pcs, lattice, "milc.sweep",
+                    n_passes=2, store_fraction=0.2, rng=ctx.rng,
+                    work_per_access=12,
+                ),
+            )
+
+        return factory, []
+
+
+class Sjeng(Workload):
+    """Chess search: hash-probe dominated — random, prefetch-resistant."""
+
+    name = "sjeng"
+    suite = "spec2006"
+    pointer_intensive = False
+
+    def _build(self, ctx: BuildContext):
+        # The transposition table dwarfs the cache (real ones are GBs):
+        # random probes must not be coverable by luck.
+        transposition = build_array(
+            ctx.memory, ctx.arena("ttable", 1_600_000), ctx.n(96000), rng=ctx.rng
+        )
+        rng = random.Random(ctx.rng.randrange(1 << 30))
+
+        def factory() -> Iterator[MemOp]:
+            program = Program(ctx.memory)
+            return emit(
+                program,
+                random_walk(
+                    program, ctx.pcs, transposition, rng, "sjeng.probe",
+                    n_accesses=ctx.n(9000, minimum=50), work_per_access=40,
+                ),
+            )
+
+        return factory, []

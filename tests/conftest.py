@@ -1,0 +1,34 @@
+"""Shared fixtures: small configurations that keep unit tests fast."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.memory.alloc import ArenaMap
+from repro.memory.backing import SimulatedMemory
+
+
+@pytest.fixture
+def memory():
+    return SimulatedMemory()
+
+
+@pytest.fixture
+def arenas():
+    return ArenaMap()
+
+
+@pytest.fixture
+def tiny_config():
+    """A miniature machine: 4 KB L2, short DRAM — unit-test scale."""
+    return SystemConfig.scaled().with_overrides(
+        l1_size=1024,
+        l1_ways=2,
+        l2_size=4096,
+        l2_ways=4,
+        interval_evictions=32,
+    )
+
+
+@pytest.fixture
+def scaled_config():
+    return SystemConfig.scaled()

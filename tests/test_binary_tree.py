@@ -1,0 +1,153 @@
+"""Unit tests for binary trees and the bisort-style swapping traversal."""
+
+import random
+
+import pytest
+
+from repro.core.instruction import PcAllocator
+from repro.memory.alloc import BumpAllocator
+from repro.structures.base import Program
+from repro.structures.binary_tree import (
+    bitonic_sort_traversal,
+    build_balanced_tree,
+    descend,
+    inorder_walk,
+)
+
+
+@pytest.fixture
+def allocator():
+    return BumpAllocator(0x1000_0000, 1 << 22)
+
+
+def drain(program, steps):
+    ops = []
+    for __ in steps:
+        ops.extend(program.drain())
+    ops.extend(program.drain())
+    return ops
+
+
+class TestBuild:
+    def test_children_are_real_pointers(self, memory, allocator):
+        tree = build_balanced_tree(memory, allocator, 7)
+        left = memory.read_word(tree.layout.addr_of(tree.root, "left"))
+        right = memory.read_word(tree.layout.addr_of(tree.root, "right"))
+        assert left == tree.nodes[1]
+        assert right == tree.nodes[2]
+
+    def test_leaves_have_null_children(self, memory, allocator):
+        tree = build_balanced_tree(memory, allocator, 7)
+        leaf = tree.nodes[-1]
+        assert memory.read_word(tree.layout.addr_of(leaf, "left")) == 0
+        assert memory.read_word(tree.layout.addr_of(leaf, "right")) == 0
+
+    def test_node_count(self, memory, allocator):
+        tree = build_balanced_tree(memory, allocator, 100)
+        assert len(tree) == 100
+
+
+class TestInorderWalk:
+    def test_visits_every_node_once(self, memory, allocator):
+        tree = build_balanced_tree(memory, allocator, 31)
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(program, inorder_walk(program, pcs, tree, "w"))
+        key_pc = pcs.pc("w.key")
+        assert sum(1 for op in ops if op.pc == key_pc) == 31
+
+
+class TestDescend:
+    def test_each_descent_reaches_a_leaf(self, memory, allocator):
+        tree = build_balanced_tree(memory, allocator, 15)  # depth 4
+        program = Program(memory)
+        pcs = PcAllocator()
+        rng = random.Random(1)
+        ops = drain(program, descend(program, pcs, tree, rng, "d", n_descents=5))
+        key_pc = pcs.pc("d.key")
+        key_loads = sum(1 for op in ops if op.pc == key_pc)
+        # A balanced 15-node tree has depth 4: each descent visits 4 nodes.
+        assert key_loads == 20
+
+
+class TestBitonicTraversal:
+    def test_swaps_mutate_memory(self, memory, allocator):
+        rng = random.Random(7)
+        tree = build_balanced_tree(memory, allocator, 63, rng=rng)
+        before = {
+            node: (
+                memory.read_word(tree.layout.addr_of(node, "left")),
+                memory.read_word(tree.layout.addr_of(node, "right")),
+            )
+            for node in tree.nodes
+        }
+        program = Program(memory)
+        pcs = PcAllocator()
+        drain(
+            program,
+            bitonic_sort_traversal(
+                program, pcs, tree, rng, "b", n_rounds=30, swap_probability=1.0
+            ),
+        )
+        after = {
+            node: (
+                memory.read_word(tree.layout.addr_of(node, "left")),
+                memory.read_word(tree.layout.addr_of(node, "right")),
+            )
+            for node in tree.nodes
+        }
+        assert before != after
+
+    def test_swap_preserves_node_set(self, memory, allocator):
+        """Swaps exchange child pointers but never lose nodes."""
+        rng = random.Random(7)
+        tree = build_balanced_tree(memory, allocator, 31, rng=rng)
+        program = Program(memory)
+        pcs = PcAllocator()
+        drain(
+            program,
+            bitonic_sort_traversal(
+                program, pcs, tree, rng, "b", n_rounds=50, swap_probability=0.5
+            ),
+        )
+        # Re-collect the tree: all original nodes still reachable.
+        seen = set()
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if not node or node in seen:
+                continue
+            seen.add(node)
+            stack.append(memory.read_word(tree.layout.addr_of(node, "left")))
+            stack.append(memory.read_word(tree.layout.addr_of(node, "right")))
+        assert seen == set(tree.nodes)
+
+    def test_no_swaps_with_zero_probability(self, memory, allocator):
+        rng = random.Random(7)
+        tree = build_balanced_tree(memory, allocator, 31, rng=rng)
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(
+            program,
+            bitonic_sort_traversal(
+                program, pcs, tree, rng, "b", n_rounds=10, swap_probability=0.0
+            ),
+        )
+        assert all(op.is_load for op in ops)
+
+    def test_reads_both_children_every_node(self, memory, allocator):
+        rng = random.Random(7)
+        tree = build_balanced_tree(memory, allocator, 31, rng=rng)
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(
+            program,
+            bitonic_sort_traversal(
+                program, pcs, tree, rng, "b", n_rounds=4, swap_probability=0.0
+            ),
+        )
+        left_pc = pcs.pc("b.left")
+        right_pc = pcs.pc("b.right")
+        assert sum(1 for op in ops if op.pc == left_pc) == sum(
+            1 for op in ops if op.pc == right_pc
+        )

@@ -1,0 +1,64 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MshrFile
+
+
+class TestAllocate:
+    def test_allocate_until_full(self):
+        mshrs = MshrFile(2)
+        assert mshrs.allocate(0.0, 0x1000, 100.0, True)
+        assert mshrs.allocate(0.0, 0x2000, 100.0, True)
+        assert not mshrs.allocate(0.0, 0x3000, 100.0, True)
+
+    def test_merge_to_inflight_block_succeeds_when_full(self):
+        mshrs = MshrFile(1)
+        assert mshrs.allocate(0.0, 0x1000, 100.0, True)
+        assert mshrs.allocate(0.0, 0x1000, 100.0, True)  # merge
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+
+class TestExpiry:
+    def test_entries_retire_with_time(self):
+        mshrs = MshrFile(1)
+        mshrs.allocate(0.0, 0x1000, 50.0, True)
+        assert mshrs.is_full(0.0)
+        assert not mshrs.is_full(50.0)
+        assert mshrs.allocate(51.0, 0x2000, 90.0, True)
+
+    def test_occupancy(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(0.0, 0x1000, 10.0, True)
+        mshrs.allocate(0.0, 0x2000, 20.0, True)
+        assert mshrs.occupancy(0.0) == 2
+        assert mshrs.occupancy(15.0) == 1
+        assert mshrs.occupancy(25.0) == 0
+
+
+class TestLookup:
+    def test_lookup_inflight(self):
+        mshrs = MshrFile(2)
+        mshrs.allocate(0.0, 0x1000, 50.0, True, pc=0x400000, block_offset=12)
+        entry = mshrs.lookup(0x1000)
+        assert entry.pc == 0x400000
+        assert entry.block_offset == 12
+
+    def test_earliest_completion(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(0.0, 0x1000, 80.0, True)
+        mshrs.allocate(0.0, 0x2000, 30.0, True)
+        assert mshrs.earliest_completion() == 30.0
+
+    def test_earliest_none_when_idle(self):
+        assert MshrFile(2).earliest_completion() is None
+
+    def test_reallocation_after_expiry(self):
+        mshrs = MshrFile(2)
+        mshrs.allocate(0.0, 0x1000, 10.0, True)
+        mshrs.expire(20.0)
+        assert mshrs.allocate(20.0, 0x1000, 60.0, False)
+        assert mshrs.lookup(0x1000).completion == 60.0

@@ -1,0 +1,126 @@
+"""Unit tests for the set-associative cache: LRU, eviction, prefetch bits."""
+
+import pytest
+
+from repro.cache.set_assoc import SetAssociativeCache
+
+
+def make_cache(size=1024, ways=2, block=64):
+    return SetAssociativeCache(size, ways, block)
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = make_cache(1024, 2, 64)  # 16 blocks, 2-way -> 8 sets
+        assert cache.n_sets == 8
+        assert cache.n_blocks == 16
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 3, 64)
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, 2, 48)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(0x1000) is None
+        cache.insert(0x1000)
+        assert cache.lookup(0x1000) is not None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_lookup_within_block_hits(self):
+        cache = make_cache(block=64)
+        cache.insert(0x1000)
+        assert cache.lookup(0x103F) is not None
+        assert cache.lookup(0x1040) is None
+
+    def test_reinsert_refreshes_not_evicts(self):
+        cache = make_cache()
+        cache.insert(0x1000)
+        victim = cache.insert(0x1000)
+        assert victim is None
+        assert len(cache) == 1
+
+
+class TestLru:
+    def test_lru_victim_selected(self):
+        cache = make_cache(1024, 2, 64)  # 8 sets; same set: stride 512
+        a, b, c = 0x1000, 0x1000 + 512, 0x1000 + 1024
+        cache.insert(a)
+        cache.insert(b)
+        victim = cache.insert(c)  # evicts a (LRU)
+        assert victim is not None and victim.addr == a
+
+    def test_touch_updates_recency(self):
+        cache = make_cache(1024, 2, 64)
+        a, b, c = 0x1000, 0x1000 + 512, 0x1000 + 1024
+        cache.insert(a)
+        cache.insert(b)
+        cache.lookup(a)  # a becomes MRU
+        victim = cache.insert(c)
+        assert victim.addr == b
+
+    def test_peek_and_contains_do_not_touch(self):
+        cache = make_cache(1024, 2, 64)
+        a, b, c = 0x1000, 0x1000 + 512, 0x1000 + 1024
+        cache.insert(a)
+        cache.insert(b)
+        cache.peek(a)
+        assert cache.contains(a)
+        victim = cache.insert(c)
+        assert victim.addr == a  # peek/contains did not refresh a
+        assert cache.stats.hits == 0
+
+
+class TestPrefetchedBits:
+    def test_prefetch_owner_recorded_and_cleared(self):
+        cache = make_cache()
+        cache.insert(0x1000, prefetch_owner="cdp")
+        block = cache.lookup(0x1000)
+        assert block.was_prefetched
+        assert block.mark_used() == "cdp"
+        assert not block.was_prefetched
+        assert block.mark_used() is None
+
+    def test_prefetch_fill_counted(self):
+        cache = make_cache()
+        cache.insert(0x1000, prefetch_owner="stream")
+        assert cache.stats.prefetch_fills == 1
+
+
+class TestEvictionCallback:
+    def test_callback_receives_victims(self):
+        cache = make_cache(256, 1, 64)  # 4 sets, direct-mapped
+        victims = []
+        cache.on_eviction = victims.append
+        cache.insert(0x1000)
+        cache.insert(0x1000 + 256)  # same set
+        assert [v.addr for v in victims] == [0x1000]
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_removes_silently(self):
+        cache = make_cache()
+        cache.insert(0x1000)
+        removed = cache.invalidate(0x1000)
+        assert removed.addr == 0x1000
+        assert not cache.contains(0x1000)
+        assert cache.stats.evictions == 0
+
+
+class TestFillTime:
+    def test_fill_time_preserved(self):
+        cache = make_cache()
+        cache.insert(0x1000, fill_time=123.0)
+        assert cache.lookup(0x1000).fill_time == 123.0
+
+    def test_resident_blocks_snapshot(self):
+        cache = make_cache()
+        cache.insert(0x1000)
+        cache.insert(0x2000)
+        snapshot = cache.resident_blocks()
+        assert set(snapshot) == {0x1000, 0x2000}

@@ -1,0 +1,86 @@
+"""CLI tests: every subcommand runs and prints the expected structure."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["run", "mst", "baseline"],
+            ["compare", "mst"],
+            ["sweep", "--benchmarks", "mst"],
+            ["profile", "mst"],
+            ["multicore", "mst", "health"],
+            ["cost"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ecdp+throttle" in out
+        assert "health" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "mst", "baseline", "--input-set", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "BPKI" in out
+
+    def test_run_unknown_benchmark_fails_cleanly(self, capsys):
+        assert main(["run", "nope", "baseline"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_unknown_mechanism_fails_cleanly(self, capsys):
+        assert main(["run", "mst", "warp", "--input-set", "test"]) == 2
+
+    def test_compare(self, capsys):
+        assert (
+            main([
+                "compare", "mst", "--input-set", "test",
+                "--mechanisms", "baseline", "cdp",
+            ])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cdp" in out
+
+    def test_sweep(self, capsys):
+        assert (
+            main([
+                "sweep", "--benchmarks", "mst", "--mechanisms", "cdp",
+                "--input-set", "test",
+            ])
+            == 0
+        )
+        assert "gmean" in capsys.readouterr().out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "mst", "--input-set", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "pointer groups" in out
+
+    def test_multicore(self, capsys):
+        assert (
+            main([
+                "multicore", "mst", "health",
+                "--mechanism", "baseline", "--input-set", "test",
+            ])
+            == 0
+        )
+        assert "weighted speedup" in capsys.readouterr().out
+
+    def test_cost(self, capsys):
+        assert main(["cost", "--paper"]) == 0
+        out = capsys.readouterr().out
+        assert "2.11 KB" in out

@@ -1,0 +1,107 @@
+"""Unit tests for hint bit vectors and the coarse GRP/Srinivasan filters."""
+
+import pytest
+
+from repro.compiler.hints import CoarseLoadFilter, HintTable, HintVector
+from repro.compiler.pointer_group import PointerGroupProfile
+
+
+class TestHintVector:
+    def test_positive_offset_round_trip(self):
+        vector = HintVector().with_offset(8)
+        assert vector.allows(8)
+        assert not vector.allows(4)
+        assert not vector.allows(12)
+
+    def test_negative_offset_round_trip(self):
+        vector = HintVector().with_offset(-12)
+        assert vector.allows(-12)
+        assert not vector.allows(12)
+        assert not vector.allows(-8)
+
+    def test_zero_offset(self):
+        vector = HintVector().with_offset(0)
+        assert vector.allows(0)
+
+    def test_unaligned_delta_never_allowed(self):
+        vector = HintVector().with_offset(8)
+        assert not vector.allows(6)
+
+    def test_unaligned_offset_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            HintVector().with_offset(5)
+
+    def test_bit_count(self):
+        vector = HintVector().with_offset(4).with_offset(-8).with_offset(16)
+        assert vector.bit_count == 3
+
+    def test_figure6_example(self):
+        """Paper Figure 6: bits 2, 6, 11 set -> offsets 8, 24, 44."""
+        vector = HintVector(positive=(1 << 2) | (1 << 6) | (1 << 11))
+        for delta in (8, 24, 44):
+            assert vector.allows(delta)
+        for delta in (0, 4, 12, 40, 48):
+            assert not vector.allows(delta)
+
+
+class TestHintTable:
+    def test_from_profile_sets_beneficial_only(self):
+        profile = PointerGroupProfile()
+        good, bad = (0x400000, 8), (0x400000, 16)
+        profile.record_issue(good, 2)
+        profile.record_use(good)
+        profile.record_use(good)
+        profile.record_issue(bad, 10)
+        table = HintTable.from_profile(profile)
+        assert table.allows(0x400000, 8)
+        assert not table.allows(0x400000, 16)
+
+    def test_unknown_pc_default_deny(self):
+        table = HintTable()
+        assert not table.allows(0x123456, 8)
+
+    def test_unknown_pc_default_allow_mode(self):
+        table = HintTable(default_allow=True)
+        assert table.allows(0x123456, 8)
+
+    def test_total_hint_bits(self):
+        table = HintTable()
+        table.add_hint(1, 4)
+        table.add_hint(1, 8)
+        table.add_hint(2, -4)
+        assert table.total_hint_bits() == 3
+        assert len(table) == 2
+
+
+class TestCoarseLoadFilter:
+    def _profile(self):
+        profile = PointerGroupProfile()
+        # PC 1: majority useful across PGs; PC 2: majority useless.
+        profile.record_issue((1, 8), 4)
+        for __ in range(4):
+            profile.record_use((1, 8))
+        profile.record_issue((1, 16), 2)
+        profile.record_issue((2, 8), 10)
+        profile.record_use((2, 8))
+        return profile
+
+    def test_per_load_all_or_nothing(self):
+        coarse = CoarseLoadFilter.from_profile(self._profile())
+        # PC 1: 4 useful / 6 issued -> enabled; every offset passes.
+        assert coarse.allows(1, 8)
+        assert coarse.allows(1, 16)  # even the useless PG — coarse!
+        # PC 2: 1/10 -> disabled entirely.
+        assert not coarse.allows(2, 8)
+
+    def test_enabled_count(self):
+        coarse = CoarseLoadFilter.from_profile(self._profile())
+        assert coarse.enabled_count() == 1
+        assert len(coarse) == 2
+
+    def test_fine_vs_coarse_difference(self):
+        """The structural reason ECDP beats GRP (paper Section 7.1):
+        the fine-grained table can disable PC 1's useless PG."""
+        profile = self._profile()
+        fine = HintTable.from_profile(profile)
+        coarse = CoarseLoadFilter.from_profile(profile)
+        assert coarse.allows(1, 16) and not fine.allows(1, 16)

@@ -1,0 +1,66 @@
+"""Unit tests for pointer-group bookkeeping."""
+
+from repro.compiler.pointer_group import (
+    BENEFICIAL_THRESHOLD,
+    PointerGroupProfile,
+    PointerGroupStats,
+)
+
+
+class TestStats:
+    def test_usefulness_zero_when_unissued(self):
+        assert PointerGroupStats().usefulness == 0.0
+
+    def test_usefulness_ratio(self):
+        stats = PointerGroupStats(issued=10, useful=7)
+        assert stats.usefulness == 0.7
+
+    def test_beneficial_strictly_above_half(self):
+        assert not PointerGroupStats(issued=10, useful=5).is_beneficial
+        assert PointerGroupStats(issued=10, useful=6).is_beneficial
+
+    def test_threshold_matches_paper(self):
+        assert BENEFICIAL_THRESHOLD == 0.5
+
+
+class TestProfile:
+    def test_issue_and_use_accumulate(self):
+        profile = PointerGroupProfile()
+        key = (0x400000, 8)
+        profile.record_issue(key, 3)
+        profile.record_use(key)
+        stats = profile.get(key)
+        assert stats.issued == 3
+        assert stats.useful == 1
+
+    def test_classification_split(self):
+        profile = PointerGroupProfile()
+        good, bad = (1, 8), (1, 16)
+        profile.record_issue(good, 4)
+        for __ in range(4):
+            profile.record_use(good)
+        profile.record_issue(bad, 4)
+        profile.record_use(bad)
+        assert profile.beneficial_keys() == [good]
+        assert profile.harmful_keys() == [bad]
+        assert profile.beneficial_fraction() == 0.5
+
+    def test_histogram_binning(self):
+        profile = PointerGroupProfile()
+        for index, useful in enumerate([0, 1, 2, 4]):
+            key = (index, 0)
+            profile.record_issue(key, 4)
+            for __ in range(useful):
+                profile.record_use(key)
+        # usefulness 0.0, 0.25, 0.5, 1.0 -> bins [0-25), [25-50), [50-75), [75-100]
+        assert profile.usefulness_histogram() == [1, 1, 1, 1]
+
+    def test_empty_profile(self):
+        profile = PointerGroupProfile()
+        assert profile.beneficial_fraction() == 0.0
+        assert len(profile) == 0
+        assert profile.usefulness_histogram() == [0, 0, 0, 0]
+
+    def test_get_missing_key_returns_zero_stats(self):
+        profile = PointerGroupProfile()
+        assert profile.get((9, 9)).issued == 0

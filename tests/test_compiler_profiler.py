@@ -1,0 +1,129 @@
+"""Unit tests for the functional profiling pass (PG usefulness)."""
+
+import pytest
+
+from repro.compiler.profiler import (
+    FunctionalCdpSimulator,
+    ProfilerConfig,
+    profile_trace,
+)
+from repro.core.instruction import MemOp, PcAllocator
+from repro.memory.alloc import BumpAllocator
+from repro.structures.base import Program
+from repro.structures.linked_list import build_list, walk
+
+CONFIG = ProfilerConfig(l2_size=4096, l2_ways=4, block_size=64, compare_bits=8)
+
+
+def load(pc, addr):
+    return MemOp(pc, addr, True, 0, -1)
+
+
+class TestBasicAttribution:
+    def test_used_prefetch_counts_for_its_pg(self, memory):
+        # Block A holds a pointer (at byte 8) to block B; the trace
+        # misses A then demands B.
+        memory.write_word(0x1000_0008, 0x1000_4000)
+        sim = FunctionalCdpSimulator(memory, CONFIG)
+        sim.access(load(0x400000, 0x1000_0000))
+        sim.access(load(0x400004, 0x1000_4000))
+        stats = sim.profile.get((0x400000, 8))
+        assert stats.issued == 1
+        assert stats.useful == 1
+
+    def test_unused_prefetch_counts_against_pg(self, memory):
+        memory.write_word(0x1000_0008, 0x1000_4000)
+        sim = FunctionalCdpSimulator(memory, CONFIG)
+        sim.access(load(0x400000, 0x1000_0000))
+        stats = sim.profile.get((0x400000, 8))
+        assert stats.issued == 1
+        assert stats.useful == 0
+
+    def test_offset_relative_to_accessed_byte(self, memory):
+        # Load touches byte 12 of the block; pointer lives at byte 4.
+        memory.write_word(0x1000_0004, 0x1000_4000)
+        sim = FunctionalCdpSimulator(memory, CONFIG)
+        sim.access(load(0x400000, 0x1000_000C))
+        assert sim.profile.get((0x400000, -8)).issued == 1
+
+    def test_recursive_prefetch_attributed_to_root(self, memory):
+        # A -> B -> C chain: prefetch of C (found while scanning B's
+        # prefetched fill) belongs to the ROOT pointer group in A.
+        memory.write_word(0x1000_0008, 0x1000_4000)  # A holds ptr to B
+        memory.write_word(0x1000_4000, 0x1000_8000)  # B holds ptr to C
+        sim = FunctionalCdpSimulator(memory, CONFIG)
+        sim.access(load(0x400000, 0x1000_0000))
+        stats = sim.profile.get((0x400000, 8))
+        assert stats.issued == 2  # B and C
+
+    def test_prefetch_to_cached_block_not_counted(self, memory):
+        memory.write_word(0x1000_0008, 0x1000_4000)
+        sim = FunctionalCdpSimulator(memory, CONFIG)
+        sim.access(load(0x400004, 0x1000_4000))  # B already resident
+        sim.access(load(0x400000, 0x1000_0000))  # scan finds ptr to B
+        assert sim.profile.get((0x400000, 8)).issued == 0
+
+    def test_eviction_before_use_is_useless(self, memory):
+        memory.write_word(0x1000_0008, 0x1000_4000)
+        sim = FunctionalCdpSimulator(memory, CONFIG)
+        sim.access(load(0x400000, 0x1000_0000))
+        # Thrash the set holding the prefetched block until it's evicted,
+        # then demand it: must NOT count as useful.
+        for i in range(1, 6):
+            sim.access(load(0x500000, 0x1000_4000 + i * 4096))
+        sim.access(load(0x400004, 0x1000_4000))
+        assert sim.profile.get((0x400000, 8)).useful == 0
+
+    def test_stores_do_not_trigger_scans(self, memory):
+        memory.write_word(0x1000_0008, 0x1000_4000)
+        sim = FunctionalCdpSimulator(memory, CONFIG)
+        sim.access(MemOp(0x400000, 0x1000_0000, False, 0, -1))
+        assert len(sim.profile) == 0
+
+
+class TestDepthAndBudget:
+    def test_recursion_stops_at_max_depth(self, memory):
+        # Chain A->B->C->D with max depth 2: only B and C prefetched.
+        memory.write_word(0x1000_0008, 0x1000_4000)
+        memory.write_word(0x1000_4000, 0x1000_8000)
+        memory.write_word(0x1000_8000, 0x1000_C000)
+        config = ProfilerConfig(4096, 4, 64, max_recursion_depth=2)
+        sim = FunctionalCdpSimulator(memory, config)
+        sim.access(load(0x400000, 0x1000_0000))
+        assert sim.profile.get((0x400000, 8)).issued == 2
+
+    def test_chain_budget_caps_flood(self, memory):
+        # A block full of pointers to blocks full of pointers.
+        for word in range(16):
+            memory.write_word(0x1000_0000 + word * 4, 0x1000_4000 + word * 4096)
+        config = ProfilerConfig(1 << 16, 4, 64, chain_budget=5)
+        sim = FunctionalCdpSimulator(memory, config)
+        sim.access(load(0x400000, 0x1000_0000))
+        total = sum(stats.issued for __, stats in sim.profile.items())
+        assert total == 5
+
+
+class TestHintFilteredProfiling:
+    def test_filter_restricts_measured_pgs(self, memory):
+        memory.write_word(0x1000_0008, 0x1000_4000)
+        memory.write_word(0x1000_000C, 0x1000_8000)
+        allowed = lambda pc, delta: delta == 8
+        sim = FunctionalCdpSimulator(memory, CONFIG, hint_filter=allowed)
+        sim.access(load(0x400000, 0x1000_0000))
+        assert sim.profile.get((0x400000, 8)).issued == 1
+        assert sim.profile.get((0x400000, 12)).issued == 0
+
+
+class TestEndToEndListProfile:
+    def test_chain_pg_classified_beneficial(self, memory):
+        """A fully-walked list's next-pointer PG must come out beneficial."""
+        allocator = BumpAllocator(0x1000_0000, 1 << 20)
+        lst = build_list(memory, allocator, 600, data_words=2)
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = []
+        for __ in walk(program, pcs, lst, "w"):
+            ops.extend(program.drain())
+        ops.extend(program.drain())
+        profile = profile_trace(memory, ops, CONFIG)
+        assert profile.beneficial_keys(), "list walk produced no beneficial PGs"

@@ -1,0 +1,226 @@
+"""Unit tests for the cycle-approximate core model."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.cpu import Core
+from repro.core.instruction import MemOp
+from repro.dram.bus import MemoryBus
+from repro.dram.controller import DramController
+from repro.memory.backing import SimulatedMemory
+from repro.prefetch.cdp import ContentDirectedPrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+
+CFG = SystemConfig.scaled().with_overrides(
+    l1_size=1024, l1_ways=2, l2_size=4096, l2_ways=4
+)
+
+
+def make_core(config=CFG, stream=False, cdp=False, memory=None, **kwargs):
+    memory = memory or SimulatedMemory()
+    bus = MemoryBus(config.bus_bytes_per_cycle, config.bus_frequency_ratio)
+    dram = DramController(
+        config.dram_banks,
+        config.dram_bank_occupancy,
+        config.dram_controller_overhead,
+        bus,
+        config.block_size,
+        config.request_buffer_per_core,
+    )
+    return Core(
+        config,
+        memory,
+        dram,
+        stream=StreamPrefetcher(config.block_size) if stream else None,
+        cdp=ContentDirectedPrefetcher(config.block_size) if cdp else None,
+        **kwargs,
+    )
+
+
+def load(pc, addr, work=0, dep=-1):
+    return MemOp(pc, addr, True, work, dep)
+
+
+def store(pc, addr, work=0):
+    return MemOp(pc, addr, False, work, -1)
+
+
+class TestBasicExecution:
+    def test_retired_instruction_count(self):
+        core = make_core()
+        result = core.run([load(1, 0x1000_0000, work=9), store(2, 0x1000_0040, work=4)])
+        assert result.retired_instructions == 15
+
+    def test_ipc_positive_and_bounded(self):
+        core = make_core()
+        result = core.run([load(1, 0x1000_0000 + i * 4, work=3) for i in range(100)])
+        assert 0 < result.ipc <= CFG.issue_width
+
+    def test_repeat_access_hits_l1(self):
+        core = make_core()
+        result = core.run([load(1, 0x1000_0000), load(2, 0x1000_0000)])
+        assert result.l1_hits == 1
+        assert result.l2_demand_misses == 1
+
+    def test_misses_counted_per_block(self):
+        core = make_core()
+        ops = [load(1, 0x1000_0000 + i * CFG.block_size) for i in range(10)]
+        result = core.run(ops)
+        assert result.l2_demand_misses == 10
+
+    def test_bus_transfers_track_misses(self):
+        core = make_core()
+        ops = [load(1, 0x1000_0000 + i * CFG.block_size) for i in range(10)]
+        result = core.run(ops)
+        assert result.bus_transfers == 10
+        assert result.bpki == pytest.approx(10 / (10 / 1000))
+
+
+class TestDependentChains:
+    def test_dependent_chain_slower_than_independent(self):
+        """Pointer chasing must serialize; independent misses overlap."""
+        blocks = [0x1000_0000 + i * CFG.block_size for i in range(30)]
+        independent = make_core().run([load(1, b, work=2) for b in blocks])
+        dependent_ops = [
+            load(1, b, work=2, dep=i - 1 if i else -1)
+            for i, b in enumerate(blocks)
+        ]
+        dependent = make_core().run(dependent_ops)
+        assert dependent.cycles > independent.cycles * 2
+
+    def test_dependence_on_fast_load_is_cheap(self):
+        core = make_core()
+        ops = [load(1, 0x1000_0000), load(2, 0x1000_0000, dep=0)]
+        result = core.run(ops)
+        # Second load hits L1 and its producer is the same block.
+        assert result.l1_hits == 1
+
+
+class TestMlpWindow:
+    def test_mshr_limit_caps_overlap(self):
+        """With 1 MSHR, independent misses serialize like a chain."""
+        blocks = [0x1000_0000 + i * CFG.block_size for i in range(20)]
+        narrow = make_core(CFG.with_overrides(l2_mshrs=1))
+        wide = make_core(CFG.with_overrides(l2_mshrs=32))
+        slow = narrow.run([load(1, b, work=2) for b in blocks])
+        fast = wide.run([load(1, b, work=2) for b in blocks])
+        # The wide window is bus-bandwidth-bound (one 40-cycle transfer
+        # per block); the narrow one pays full latency per miss.
+        assert slow.cycles > fast.cycles * 1.8
+
+    def test_rob_span_limits_lookahead(self):
+        """Misses separated by more than a ROB of work partially stall:
+        a huge ROB hides them, the real ROB exposes part of each miss."""
+        blocks = [0x1000_0000 + i * CFG.block_size for i in range(12)]
+        ops = [load(1, b, work=CFG.rob_size * 2) for b in blocks]
+        real = make_core().run(list(ops))
+        huge = make_core(CFG.with_overrides(rob_size=1 << 20)).run(list(ops))
+        dispatch = sum(CFG.rob_size * 2 + 1 for __ in blocks) / CFG.issue_width
+        assert real.cycles > dispatch + 300  # misses partially exposed
+        assert huge.cycles < real.cycles  # infinite ROB hides them
+
+
+class TestStores:
+    def test_store_allocates_but_does_not_stall(self):
+        core = make_core()
+        result = core.run([store(1, 0x1000_0000)])
+        assert result.l2_demand_misses == 1
+        assert result.cycles < 100  # no 150-cycle stall for a store
+
+    def test_dirty_eviction_writes_back(self):
+        config = CFG.with_overrides(l2_size=1024, l2_ways=1, l1_size=512, l1_ways=1)
+        core = make_core(config)
+        n_sets = 1024 // config.block_size
+        stride = n_sets * config.block_size
+        ops = [store(1, 0x1000_0000)]
+        ops += [load(2, 0x1000_0000 + i * stride) for i in range(1, 4)]
+        core.run(ops)
+        assert core.dram.stats.writebacks >= 1
+
+
+class TestPrefetchIntegration:
+    def test_stream_prefetches_fill_l2(self):
+        core = make_core(stream=True)
+        ops = [load(1, 0x1000_0000 + i * CFG.block_size, work=6) for i in range(40)]
+        result = core.run(ops)
+        assert result.prefetchers["stream"].issued > 0
+        assert result.prefetchers["stream"].used > 0
+
+    def test_stream_improves_streaming_ipc(self):
+        ops = [load(1, 0x1000_0000 + i * CFG.block_size, work=6) for i in range(60)]
+        without = make_core().run(list(ops))
+        with_stream = make_core(stream=True).run(list(ops))
+        assert with_stream.ipc > without.ipc
+
+    def test_cdp_follows_pointer_chain(self):
+        memory = SimulatedMemory()
+        # Build a chain of blocks, each holding a pointer to the next.
+        base = 0x1000_0000
+        step = 0x400  # distinct blocks
+        for i in range(30):
+            memory.write_word(base + i * step, base + (i + 1) * step)
+        core = make_core(cdp=True, memory=memory)
+        ops = []
+        for i in range(30):
+            dep = i - 1 if i else -1
+            ops.append(load(1, base + i * step, work=2, dep=dep))
+        result = core.run(ops)
+        assert result.prefetchers["cdp"].issued > 0
+        assert result.prefetchers["cdp"].used > 5
+
+    def test_cdp_speeds_pointer_chain(self):
+        def build():
+            memory = SimulatedMemory()
+            base, step = 0x1000_0000, 0x400
+            for i in range(60):
+                memory.write_word(base + i * step, base + (i + 1) * step)
+            ops = [
+                load(1, base + i * step, work=2, dep=i - 1 if i else -1)
+                for i in range(60)
+            ]
+            return memory, ops
+
+        memory, ops = build()
+        without = make_core(memory=memory).run(ops)
+        memory, ops = build()
+        with_cdp = make_core(cdp=True, memory=memory).run(ops)
+        assert with_cdp.ipc > without.ipc * 1.1
+
+    def test_useless_prefetches_pollute(self):
+        """A block full of pointers to never-used blocks must cause
+        evictions of useful data (the paper's pollution channel)."""
+        memory = SimulatedMemory()
+        base = 0x1000_0000
+        for word in range(16):
+            memory.write_word(base + word * 4, 0x1000_8000 + word * 0x1000)
+        core = make_core(cdp=True, memory=memory)
+        core.run([load(1, base)])
+        assert core.l2.stats.prefetch_fills > 4
+
+    def test_oracle_pcs_suppress_miss_cost(self):
+        ops = [load(7, 0x1000_0000 + i * CFG.block_size, dep=i - 1 if i else -1)
+               for i in range(20)]
+        normal = make_core().run(list(ops))
+        oracle = make_core(oracle_pcs={7}).run(list(ops))
+        assert oracle.cycles < normal.cycles / 3
+        assert oracle.bus_transfers == 0
+
+
+class TestFeedbackWiring:
+    def test_use_credits_owner(self):
+        memory = SimulatedMemory()
+        base, step = 0x1000_0000, 0x400
+        for i in range(10):
+            memory.write_word(base + i * step, base + (i + 1) * step)
+        core = make_core(cdp=True, memory=memory)
+        ops = [load(1, base + i * step, work=40, dep=i - 1 if i else -1)
+               for i in range(10)]
+        core.run(ops)
+        assert core.feedback.counters["cdp"].lifetime_used > 0
+
+    def test_finish_idempotent(self):
+        core = make_core()
+        core.step(load(1, 0x1000_0000))
+        first = core.finish()
+        second = core.finish()
+        assert first.cycles == second.cycles

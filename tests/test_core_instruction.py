@@ -1,0 +1,73 @@
+"""Unit tests for MemOp records and the PC allocator."""
+
+import pytest
+
+from repro.core.instruction import (
+    MemOp,
+    PcAllocator,
+    count_instructions,
+    materialize,
+)
+
+
+class TestMemOp:
+    def test_fields(self):
+        op = MemOp(0x400000, 0x1000, True, 5, 3)
+        assert (op.pc, op.addr, op.is_load, op.work, op.dep) == (
+            0x400000, 0x1000, True, 5, 3,
+        )
+
+    def test_frozen(self):
+        op = MemOp(1, 2, True, 0, -1)
+        with pytest.raises(Exception):
+            op.addr = 5
+
+    def test_slots_prevent_extra_attributes(self):
+        op = MemOp(1, 2, True, 0, -1)
+        with pytest.raises(Exception):
+            op.extra = 1
+
+
+class TestPcAllocator:
+    def test_stable_pc_per_site(self):
+        pcs = PcAllocator()
+        assert pcs.pc("walk.key") == pcs.pc("walk.key")
+
+    def test_distinct_sites_distinct_pcs(self):
+        pcs = PcAllocator()
+        assert pcs.pc("a") != pcs.pc("b")
+
+    def test_registration_order_determines_pc(self):
+        """Two allocators fed the same site order agree on PCs — the
+        property that makes train-profiled hints apply to ref runs."""
+        first, second = PcAllocator(), PcAllocator()
+        for site in ("walk.key", "walk.next", "lookup.head"):
+            first.pc(site)
+        for site in ("walk.key", "walk.next", "lookup.head"):
+            second.pc(site)
+        assert first.pc("walk.next") == second.pc("walk.next")
+
+    def test_name_of_reverse_lookup(self):
+        pcs = PcAllocator()
+        pc = pcs.pc("site.x")
+        assert pcs.name_of(pc) == "site.x"
+        with pytest.raises(KeyError):
+            pcs.name_of(0xDEAD)
+
+    def test_len_counts_sites(self):
+        pcs = PcAllocator()
+        pcs.pc("a")
+        pcs.pc("b")
+        pcs.pc("a")
+        assert len(pcs) == 2
+
+
+class TestTraceHelpers:
+    def test_count_instructions(self):
+        trace = [MemOp(1, 0, True, 4, -1), MemOp(1, 4, False, 6, -1)]
+        assert count_instructions(trace) == 12
+
+    def test_materialize(self):
+        gen = (MemOp(1, i, True, 0, -1) for i in range(3))
+        ops = materialize(gen)
+        assert len(ops) == 3

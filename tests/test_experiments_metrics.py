@@ -1,0 +1,104 @@
+"""Unit tests for the reported metrics."""
+
+import pytest
+
+from repro.core.stats import CoreResult, PrefetcherResult
+from repro.experiments.metrics import (
+    bpki_delta_percent,
+    geomean,
+    gmean_speedup,
+    hmean_speedup,
+    ipc_delta_percent,
+    mean_bpki_delta,
+    total_bus_traffic_per_ki,
+    weighted_speedup,
+)
+
+
+def result(ipc=1.0, bpki=10.0, instructions=100_000):
+    cycles = instructions / ipc
+    transfers = int(bpki * instructions / 1000)
+    return CoreResult(
+        retired_instructions=instructions,
+        cycles=cycles,
+        bus_transfers=transfers,
+    )
+
+
+class TestGeomean:
+    def test_identity(self):
+        assert geomean([]) == 1.0
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestDeltas:
+    def test_ipc_delta(self):
+        assert ipc_delta_percent(result(1.2), result(1.0)) == pytest.approx(20.0)
+
+    def test_bpki_delta(self):
+        assert bpki_delta_percent(result(1, 8), result(1, 10)) == pytest.approx(
+            -20.0, abs=0.5
+        )
+
+    def test_bpki_delta_zero_baseline(self):
+        assert bpki_delta_percent(result(1, 5), result(1, 0)) == 0.0
+
+
+class TestSuiteAggregates:
+    def test_gmean_speedup_with_exclusion(self):
+        results = {"a": result(2.0), "health": result(4.0)}
+        baselines = {"a": result(1.0), "health": result(1.0)}
+        assert gmean_speedup(results, baselines) == pytest.approx(8 ** 0.5)
+        assert gmean_speedup(results, baselines, exclude=("health",)) == 2.0
+
+    def test_mean_bpki_delta(self):
+        results = {"a": result(1, 5), "b": result(1, 15)}
+        baselines = {"a": result(1, 10), "b": result(1, 10)}
+        assert mean_bpki_delta(results, baselines) == pytest.approx(0.0, abs=1)
+
+
+class TestMulticoreMetrics:
+    def test_weighted_speedup(self):
+        shared = [result(0.5), result(1.0)]
+        alone = [result(1.0), result(1.0)]
+        assert weighted_speedup(shared, alone) == pytest.approx(1.5)
+
+    def test_hmean_speedup(self):
+        shared = [result(0.5), result(1.0)]
+        alone = [result(1.0), result(1.0)]
+        assert hmean_speedup(shared, alone) == pytest.approx(2 / 3)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([result()], [])
+        with pytest.raises(ValueError):
+            hmean_speedup([result()], [])
+
+    def test_total_bus_traffic(self):
+        results = [result(1.0, 10.0), result(1.0, 20.0)]
+        assert total_bus_traffic_per_ki(results) == pytest.approx(15.0, abs=0.1)
+
+
+class TestCoreResultProperties:
+    def test_accuracy_and_coverage(self):
+        core = CoreResult(
+            l2_demand_misses=80,
+            prefetchers={"cdp": PrefetcherResult(issued=100, used=20)},
+        )
+        assert core.accuracy("cdp") == pytest.approx(0.2)
+        assert core.coverage("cdp") == pytest.approx(0.2)
+
+    def test_unknown_prefetcher_zero(self):
+        core = CoreResult()
+        assert core.accuracy("nope") == 0.0
+        assert core.coverage("nope") == 0.0
+
+    def test_speedup_over(self):
+        fast, slow = result(2.0), result(1.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)

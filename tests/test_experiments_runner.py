@@ -1,0 +1,103 @@
+"""Integration tests for the experiment runner (test-scale inputs)."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.configs import MECHANISMS, get_mechanism
+from repro.experiments.runner import (
+    clear_caches,
+    profile_benchmark,
+    run_benchmark,
+    run_multicore,
+)
+
+CFG = SystemConfig.scaled()
+
+
+class TestMechanismPresets:
+    def test_all_paper_mechanisms_present(self):
+        for name in (
+            "no-prefetch", "baseline", "oracle-lds", "cdp", "ecdp",
+            "cdp+throttle", "ecdp+throttle", "dbp", "markov", "ghb",
+            "hwfilter", "ecdp+fdp", "gendler", "grp", "loadfilter",
+        ):
+            assert name in MECHANISMS
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(KeyError):
+            get_mechanism("warp-drive")
+
+    def test_needs_profile_flag(self):
+        assert get_mechanism("ecdp").needs_profile
+        assert not get_mechanism("cdp").needs_profile
+
+
+class TestRunBenchmark:
+    def test_baseline_run_produces_metrics(self):
+        result = run_benchmark("mst", "baseline", CFG, input_set="test")
+        assert result.ipc > 0
+        assert result.retired_instructions > 0
+
+    def test_results_cached(self):
+        first = run_benchmark("mst", "baseline", CFG, input_set="test")
+        second = run_benchmark("mst", "baseline", CFG, input_set="test")
+        assert first is second
+
+    def test_cache_cleared(self):
+        first = run_benchmark("mst", "baseline", CFG, input_set="test")
+        clear_caches()
+        second = run_benchmark("mst", "baseline", CFG, input_set="test")
+        assert first is not second
+        assert first.ipc == second.ipc  # determinism survives the cache
+
+    def test_no_prefetch_has_no_prefetchers(self):
+        result = run_benchmark("mst", "no-prefetch", CFG, input_set="test")
+        assert not result.prefetchers
+
+    def test_cdp_mechanism_reports_cdp_stats(self):
+        result = run_benchmark("health", "cdp", CFG, input_set="train")
+        assert "cdp" in result.prefetchers
+        assert "stream" in result.prefetchers
+
+    def test_oracle_at_least_as_fast_as_baseline(self):
+        base = run_benchmark("health", "baseline", CFG, input_set="train")
+        oracle = run_benchmark("health", "oracle-lds", CFG, input_set="train")
+        assert oracle.ipc >= base.ipc
+
+    def test_ghb_runs_without_stream(self):
+        result = run_benchmark("mst", "ghb", CFG, input_set="test")
+        assert "ghb" in result.prefetchers
+        assert "stream" not in result.prefetchers
+
+    @pytest.mark.parametrize(
+        "mechanism", ["dbp", "markov", "hwfilter", "gendler", "ecdp+fdp", "grp"]
+    )
+    def test_every_baseline_mechanism_runs(self, mechanism):
+        result = run_benchmark("mst", mechanism, CFG, input_set="test")
+        assert result.ipc > 0
+
+
+class TestProfiling:
+    def test_profile_produces_pgs(self):
+        profile = profile_benchmark("health", CFG, input_set="train")
+        assert len(profile) > 0
+
+    def test_profile_cached(self):
+        first = profile_benchmark("health", CFG, input_set="train")
+        second = profile_benchmark("health", CFG, input_set="train")
+        assert first is second
+
+
+class TestMulticore:
+    def test_two_core_run(self):
+        results = run_multicore(["mst", "health"], "baseline", CFG,
+                                input_set="test")
+        assert len(results) == 2
+        assert all(r.ipc > 0 for r in results)
+
+    def test_four_core_run(self):
+        results = run_multicore(
+            ["mst", "health", "libquantum", "sjeng"], "baseline", CFG,
+            input_set="test",
+        )
+        assert len(results) == 4

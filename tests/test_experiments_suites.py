@@ -1,0 +1,58 @@
+"""Tests for the sweep/summary helpers in experiments.suites."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.suites import (
+    OUTLIER,
+    accuracy_rows,
+    coverage_rows,
+    delta_rows,
+    summary_line,
+    sweep,
+)
+
+CFG = SystemConfig.scaled()
+BENCHES = ["mst", "health"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return sweep(["baseline", "cdp"], BENCHES, CFG)
+
+
+class TestSweep:
+    def test_structure(self, results):
+        assert set(results) == {"baseline", "cdp"}
+        assert set(results["baseline"]) == set(BENCHES)
+
+    def test_delta_rows(self, results):
+        rows = delta_rows(results["cdp"], results["baseline"])
+        assert len(rows) == len(BENCHES)
+        for name, ipc_delta, bpki_delta in rows:
+            assert name in BENCHES
+            assert isinstance(ipc_delta, float)
+
+    def test_summary_line_keys(self, results):
+        summary = summary_line(results["cdp"], results["baseline"])
+        assert set(summary) == {
+            "gmean_ipc_pct",
+            "gmean_ipc_pct_no_health",
+            "mean_bpki_pct",
+            "mean_bpki_pct_no_health",
+        }
+
+    def test_outlier_exclusion_changes_summary(self, results):
+        summary = summary_line(results["cdp"], results["baseline"])
+        assert OUTLIER == "health"
+        # With health excluded only mst remains, so the two aggregates
+        # must differ whenever the two benchmarks behave differently.
+        assert summary["gmean_ipc_pct"] != summary["gmean_ipc_pct_no_health"]
+
+    def test_accuracy_and_coverage_rows(self, results):
+        acc = accuracy_rows(results, "cdp")
+        cov = coverage_rows(results, "cdp")
+        assert [name for name, __ in acc] == BENCHES
+        for __, values in acc + cov:
+            assert len(values) == 2
+            assert all(0.0 <= v <= 1.0 for v in values)

@@ -1,0 +1,78 @@
+"""Tests for the results export module and CLI --export flag."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.stats import CoreResult, PrefetcherResult
+from repro.experiments.export import (
+    FIELDS,
+    read_json,
+    result_record,
+    sweep_records,
+    write_csv,
+    write_json,
+)
+
+
+def fake_result(ipc=1.5):
+    return CoreResult(
+        retired_instructions=1000,
+        cycles=1000 / ipc,
+        l2_demand_misses=10,
+        bus_transfers=30,
+        prefetchers={"cdp": PrefetcherResult(issued=20, used=10)},
+    )
+
+
+class TestRecords:
+    def test_record_has_all_fields(self):
+        record = result_record("mst", "cdp", fake_result())
+        assert set(record) == set(FIELDS)
+        assert record["cdp_accuracy"] == 0.5
+
+    def test_sweep_records_flatten(self):
+        sweep = {"cdp": {"mst": fake_result(), "health": fake_result()}}
+        records = sweep_records(sweep)
+        assert len(records) == 2
+        assert {r["benchmark"] for r in records} == {"mst", "health"}
+
+
+class TestFiles:
+    def test_json_round_trip(self, tmp_path):
+        records = [result_record("mst", "cdp", fake_result())]
+        path = tmp_path / "r.json"
+        write_json(path, records)
+        assert read_json(path) == records
+
+    def test_csv_has_header_and_rows(self, tmp_path):
+        records = [result_record("mst", "cdp", fake_result())]
+        path = tmp_path / "r.csv"
+        write_csv(path, records)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].split(",") == FIELDS
+        assert len(lines) == 2
+
+
+class TestCliExport:
+    def test_sweep_export_json(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        assert (
+            main([
+                "sweep", "--benchmarks", "mst", "--mechanisms", "cdp",
+                "--input-set", "test", "--export", str(out),
+            ])
+            == 0
+        )
+        records = json.loads(out.read_text())
+        mechanisms = {r["mechanism"] for r in records}
+        assert mechanisms == {"baseline", "cdp"}
+
+    def test_sweep_export_csv(self, tmp_path, capsys):
+        out = tmp_path / "sweep.csv"
+        main([
+            "sweep", "--benchmarks", "mst", "--mechanisms", "cdp",
+            "--input-set", "test", "--export", str(out),
+        ])
+        assert out.read_text().startswith("benchmark,")

@@ -1,0 +1,153 @@
+"""Edge cases and failure injection across the stack."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.cpu import Core
+from repro.core.instruction import MemOp
+from repro.dram.bus import MemoryBus
+from repro.dram.controller import DramController
+from repro.memory.backing import SimulatedMemory
+from repro.prefetch.base import PrefetchQueue
+from repro.prefetch.cdp import ContentDirectedPrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+
+CFG = SystemConfig.scaled().with_overrides(
+    l1_size=1024, l1_ways=2, l2_size=4096, l2_ways=4
+)
+
+
+def make_core(config=CFG, **kwargs):
+    bus = MemoryBus(config.bus_bytes_per_cycle, config.bus_frequency_ratio)
+    dram = DramController(
+        config.dram_banks,
+        config.dram_bank_occupancy,
+        config.dram_controller_overhead,
+        bus,
+        config.block_size,
+        config.request_buffer_per_core,
+    )
+    return Core(config, SimulatedMemory(), dram, **kwargs)
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_trace(self):
+        result = make_core().run([])
+        assert result.retired_instructions == 0
+        assert result.ipc == 0.0
+        assert result.bpki == 0.0
+
+    def test_single_op_trace(self):
+        result = make_core().run([MemOp(1, 0x1000_0000, True, 0, -1)])
+        assert result.retired_instructions == 1
+        assert result.cycles > 0
+
+    def test_dep_on_missing_producer_is_ignored(self):
+        """A dep pointing at a never-recorded seq must not crash or hang."""
+        result = make_core().run([MemOp(1, 0x1000_0000, True, 0, 999)])
+        assert result.retired_instructions == 1
+
+    def test_store_only_trace(self):
+        ops = [MemOp(1, 0x1000_0000 + i * 64, False, 2, -1) for i in range(20)]
+        result = make_core().run(ops)
+        assert result.l2_demand_misses == 20
+
+
+class TestPrefetchQueueBackpressure:
+    def test_queue_overflow_drops(self):
+        queue = PrefetchQueue(2)
+        assert queue.try_admit(0.0)
+        queue.commit(100.0)
+        assert queue.try_admit(0.0)
+        queue.commit(100.0)
+        assert not queue.try_admit(0.0)
+        assert queue.dropped == 1
+
+    def test_queue_drains_with_time(self):
+        queue = PrefetchQueue(1)
+        queue.try_admit(0.0)
+        queue.commit(50.0)
+        assert queue.try_admit(51.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PrefetchQueue(0)
+
+    def test_tiny_queue_limits_cdp_flood(self):
+        """With a 1-entry prefetch queue CDP can't flood the memory bus."""
+        memory = SimulatedMemory()
+        base = 0x1000_0000
+        for word in range(16):
+            memory.write_word(base + word * 4, 0x1100_0000 + word * 0x1000)
+        config = CFG.with_overrides(prefetch_queue_size=1)
+        bus = MemoryBus(config.bus_bytes_per_cycle, config.bus_frequency_ratio)
+        dram = DramController(
+            config.dram_banks, config.dram_bank_occupancy,
+            config.dram_controller_overhead, bus, config.block_size,
+            config.request_buffer_per_core,
+        )
+        core = Core(config, memory, dram,
+                    cdp=ContentDirectedPrefetcher(config.block_size))
+        core.run([MemOp(1, base, True, 0, -1)])
+        assert core.feedback.counters["cdp"].lifetime_prefetched <= 1
+
+
+class TestConfigValidation:
+    def test_paper_preset_matches_table5(self):
+        paper = SystemConfig.paper()
+        assert paper.l2_size == 1024 * 1024
+        assert paper.block_size == 128
+        assert paper.min_memory_latency == 450
+        assert paper.interval_evictions == 8192
+
+    def test_with_overrides_is_pure(self):
+        base = SystemConfig.scaled()
+        other = base.with_overrides(l2_size=1 << 20)
+        assert base.l2_size != other.l2_size
+
+    def test_configs_hashable_for_caching(self):
+        assert hash(SystemConfig.scaled()) == hash(SystemConfig.scaled())
+
+
+class TestThrottlingUnderExtremes:
+    def test_levels_clamp_at_bounds(self):
+        stream = StreamPrefetcher(64)
+        for __ in range(10):
+            stream.throttle_down()
+        assert stream.level == 0
+        for __ in range(10):
+            stream.throttle_up()
+        assert stream.level == 3
+
+    def test_cdp_with_everything_filtered_stays_silent(self):
+        cdp = ContentDirectedPrefetcher(
+            64, hint_filter=lambda pc, delta: False
+        )
+        memory = SimulatedMemory()
+        base = 0x1000_0000
+        memory.write_word(base, base + 0x4000)
+        words = memory.read_block_words(base, 64)
+        assert cdp.scan_fill(base, words, 1, demand_pc=1) == []
+
+
+class TestDramEdges:
+    def test_zero_bank_count_rejected(self):
+        with pytest.raises(ValueError):
+            from repro.dram.bank import BankArray
+            BankArray(0, 10)
+
+    def test_bus_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MemoryBus(0, 5)
+        with pytest.raises(ValueError):
+            MemoryBus(8, 0)
+
+    def test_writeback_storm_does_not_block_demands(self):
+        bus = MemoryBus(8, 5)
+        dram = DramController(4, 100, 10, bus, 64, 64)
+        for i in range(10):
+            dram.writeback(0.0, i * 64)
+        demand = dram.access(0.0, 0x9000, is_demand=True)
+        # Writebacks ride the low-priority cursor: the demand pays only
+        # its own path.
+        assert demand == pytest.approx(150.0)

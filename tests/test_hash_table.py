@@ -1,0 +1,107 @@
+"""Unit tests for the chained hash table (paper Figure 5's structure)."""
+
+import random
+
+import pytest
+
+from repro.core.instruction import PcAllocator
+from repro.memory.alloc import BumpAllocator
+from repro.structures.base import Program
+from repro.structures.hash_table import build_hash_table, hash_lookup
+
+
+@pytest.fixture
+def arenas3():
+    return (
+        BumpAllocator(0x1000_0000, 1 << 18),  # buckets
+        BumpAllocator(0x1100_0000, 1 << 20),  # nodes
+        BumpAllocator(0x1200_0000, 1 << 21),  # data records
+    )
+
+
+def drain(program, steps):
+    ops = []
+    for __ in steps:
+        ops.extend(program.drain())
+    ops.extend(program.drain())
+    return ops
+
+
+class TestBuild:
+    def test_all_keys_reachable_through_chains(self, memory, arenas3):
+        buckets, nodes, __ = arenas3
+        table = build_hash_table(memory, buckets, nodes, 8, 50, random.Random(1))
+        found = set()
+        for bucket in range(8):
+            node = memory.read_word(table.bucket_addr(bucket))
+            while node:
+                found.add(memory.read_word(table.layout.addr_of(node, "key")))
+                node = memory.read_word(table.layout.addr_of(node, "next"))
+        assert found == set(table.keys)
+
+    def test_chains_respect_hash_function(self, memory, arenas3):
+        buckets, nodes, __ = arenas3
+        table = build_hash_table(memory, buckets, nodes, 8, 50, random.Random(1))
+        for bucket, chain in enumerate(table.chains):
+            for node in chain:
+                key = memory.read_word(table.layout.addr_of(node, "key"))
+                assert key % 8 == bucket
+
+    def test_data_pointers_reference_records(self, memory, arenas3):
+        buckets, nodes, data = arenas3
+        table = build_hash_table(
+            memory, buckets, nodes, 8, 20, random.Random(1), data_allocator=data
+        )
+        node = table.chains[0][0] if table.chains[0] else table.chains[1][0]
+        d1 = memory.read_word(table.layout.addr_of(node, "d1"))
+        assert d1 >= 0x1200_0000  # points into the data arena
+        assert memory.read_word(d1) != 0
+
+    def test_without_data_allocator_fields_are_small_ints(self, memory, arenas3):
+        buckets, nodes, __ = arenas3
+        table = build_hash_table(memory, buckets, nodes, 8, 20, random.Random(1))
+        node = next(chain[0] for chain in table.chains if chain)
+        d1 = memory.read_word(table.layout.addr_of(node, "d1"))
+        assert d1 < 0x1000  # never mistaken for a pointer
+
+
+class TestLookup:
+    def test_hit_touches_data_fields(self, memory, arenas3):
+        buckets, nodes, data = arenas3
+        table = build_hash_table(
+            memory, buckets, nodes, 8, 30, random.Random(1), data_allocator=data
+        )
+        program = Program(memory)
+        pcs = PcAllocator()
+        key = table.keys[0]
+        ops = drain(
+            program,
+            hash_lookup(program, pcs, table, key, "h", data_are_pointers=True),
+        )
+        deref_pc = pcs.pc("h.data_deref")
+        assert sum(1 for op in ops if op.pc == deref_pc) == 2  # d1 and d2
+
+    def test_miss_walks_full_chain_without_data(self, memory, arenas3):
+        buckets, nodes, __ = arenas3
+        table = build_hash_table(memory, buckets, nodes, 4, 40, random.Random(1))
+        program = Program(memory)
+        pcs = PcAllocator()
+        missing = max(table.keys) + 4 * 17  # same bucket shape, absent
+        while missing in table.keys:
+            missing += 4
+        ops = drain(program, hash_lookup(program, pcs, table, missing, "h"))
+        key_pc = pcs.pc("h.key")
+        d1_pc = pcs.pc("h.d1")
+        chain_len = len(table.chains[missing % 4])
+        assert sum(1 for op in ops if op.pc == key_pc) == chain_len
+        assert sum(1 for op in ops if op.pc == d1_pc) == 0
+
+    def test_chain_walk_is_dependent(self, memory, arenas3):
+        buckets, nodes, __ = arenas3
+        table = build_hash_table(memory, buckets, nodes, 2, 20, random.Random(1))
+        program = Program(memory)
+        pcs = PcAllocator()
+        key = table.keys[0]
+        ops = drain(program, hash_lookup(program, pcs, table, key, "h"))
+        # Every op after the bucket-head load chains off a previous load.
+        assert all(op.dep >= 0 for op in ops[1:])

@@ -1,0 +1,133 @@
+"""End-to-end shape tests: the paper's qualitative results must hold.
+
+These run real benchmark analogs at ref scale through the full simulator,
+so they are the slowest tests in the suite (the runner memoizes across
+tests).  Each assertion mirrors a claim from the paper's evaluation; exact
+magnitudes are not asserted — DESIGN.md Section 6 explains why shape, not
+absolute numbers, is the reproduction target.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.runner import run_benchmark
+
+CFG = SystemConfig.scaled()
+
+
+def run(bench, mech):
+    return run_benchmark(bench, mech, CFG)
+
+
+class TestFigure1Motivation:
+    def test_stream_prefetcher_helps_on_average(self):
+        """Table 5 note: the stream prefetcher improves on no prefetching."""
+        for bench in ("gcc", "art", "astar"):
+            none = run(bench, "no-prefetch")
+            base = run(bench, "baseline")
+            assert base.ipc > none.ipc
+
+    def test_ideal_lds_prefetching_has_large_potential(self):
+        """Figure 1 bottom: oracle LDS conversion is a big win on the
+        pointer-intensive set."""
+        for bench in ("mcf", "health", "mst"):
+            base = run(bench, "baseline")
+            oracle = run(bench, "oracle-lds")
+            assert oracle.ipc > base.ipc * 1.25, bench
+
+    def test_stream_coverage_low_on_lds_benchmarks(self):
+        """Figure 1 top: stream eliminates <20-ish% of misses on the
+        pointer-chasing benchmarks."""
+        for bench in ("mcf", "xalancbmk", "health"):
+            result = run(bench, "baseline")
+            assert result.coverage("stream") < 0.35, bench
+
+
+class TestFigure2OriginalCdp:
+    def test_cdp_degrades_its_known_victims(self):
+        """mcf, xalancbmk, bisort, mst lose performance under greedy CDP."""
+        for bench in ("mcf", "xalancbmk", "bisort", "mst"):
+            base = run(bench, "baseline")
+            cdp = run(bench, "cdp")
+            assert cdp.ipc < base.ipc, bench
+
+    def test_cdp_explodes_bandwidth(self):
+        for bench in ("mcf", "mst", "bisort"):
+            base = run(bench, "baseline")
+            cdp = run(bench, "cdp")
+            assert cdp.bpki > base.bpki * 1.3, bench
+
+    def test_cdp_helps_where_pointers_are_followed(self):
+        """Figure 2: CDP improves health and perimeter-like traversals."""
+        for bench in ("health", "ammp"):
+            base = run(bench, "baseline")
+            cdp = run(bench, "cdp")
+            assert cdp.ipc > base.ipc, bench
+
+    def test_cdp_accuracy_spread_matches_table1(self):
+        """Table 1: accuracy is very low on mcf/mst, high on perimeter."""
+        assert run("mcf", "cdp").accuracy("cdp") < 0.25
+        assert run("mst", "cdp").accuracy("cdp") < 0.35
+        assert run("perimeter", "cdp").accuracy("cdp") > 0.6
+        assert run("health", "cdp").accuracy("cdp") > 0.6
+
+
+class TestFigure7Headline:
+    def test_ecdp_eliminates_cdp_losses(self):
+        """Section 6.1.2: 'Our mechanism eliminates all performance
+        losses due to CDP.'"""
+        for bench in ("mcf", "xalancbmk", "bisort", "mst"):
+            base = run(bench, "baseline")
+            ecdp = run(bench, "ecdp")
+            assert ecdp.ipc > base.ipc * 0.97, bench
+
+    def test_full_proposal_beats_baseline_on_winners(self):
+        for bench in ("astar", "ammp", "health", "pfast"):
+            base = run(bench, "baseline")
+            ours = run(bench, "ecdp+throttle")
+            assert ours.ipc > base.ipc * 1.05, bench
+
+    def test_full_proposal_saves_bandwidth_on_winners(self):
+        """Figure 7 bottom: big BPKI cuts on mcf, astar, ammp."""
+        for bench in ("mcf", "astar", "ammp"):
+            base = run(bench, "baseline")
+            ours = run(bench, "ecdp+throttle")
+            assert ours.bpki < base.bpki * 0.9, bench
+
+    def test_synergy_combined_beats_each_alone(self):
+        """Section 6.1.1: ECDP and throttling interact positively on
+        average."""
+        import math
+
+        benches = ("mcf", "astar", "ammp", "health", "mst", "pfast")
+
+        def gmean_ratio(mechanism):
+            ratios = [
+                run(b, mechanism).ipc / run(b, "baseline").ipc for b in benches
+            ]
+            return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+        combined = gmean_ratio("ecdp+throttle")
+        assert combined > gmean_ratio("ecdp")
+        assert combined > gmean_ratio("cdp+throttle")
+        assert combined > 1.05
+
+
+class TestFigure8Accuracy:
+    def test_ecdp_throttle_raises_cdp_accuracy(self):
+        """Figure 8: our techniques raise CDP accuracy over original CDP."""
+        for bench in ("mcf", "mst", "health", "perlbench"):
+            greedy = run(bench, "cdp").accuracy("cdp")
+            ours_result = run(bench, "ecdp+throttle")
+            ours = ours_result.accuracy("cdp")
+            if ours_result.prefetchers["cdp"].issued == 0:
+                continue  # filtered to silence: no accuracy to compare
+            assert ours >= greedy, bench
+
+
+class TestSection67NonPointer:
+    @pytest.mark.parametrize("bench", ["libquantum", "GemsFDTD", "bwaves"])
+    def test_no_harm_on_streaming_benchmarks(self, bench):
+        base = run(bench, "baseline")
+        ours = run(bench, "ecdp+throttle")
+        assert ours.ipc > base.ipc * 0.97

@@ -1,0 +1,126 @@
+"""Unit tests for linked lists in simulated memory."""
+
+import random
+
+import pytest
+
+from repro.core.instruction import PcAllocator
+from repro.memory.alloc import BumpAllocator
+from repro.structures.base import Program
+from repro.structures.linked_list import build_list, list_layout, search, walk
+
+
+@pytest.fixture
+def allocator():
+    return BumpAllocator(0x1000_0000, 1 << 20)
+
+
+def drain(program, steps):
+    ops = []
+    for __ in steps:
+        ops.extend(program.drain())
+    ops.extend(program.drain())
+    return ops
+
+
+class TestBuildList:
+    def test_links_are_real_pointers(self, memory, allocator):
+        lst = build_list(memory, allocator, 5, data_words=1)
+        node = lst.head
+        visited = []
+        while node:
+            visited.append(node)
+            node = memory.read_word(lst.layout.addr_of(node, "next"))
+        assert visited == lst.nodes
+
+    def test_default_layout_is_allocation_order(self, memory, allocator):
+        lst = build_list(memory, allocator, 4)
+        deltas = [b - a for a, b in zip(lst.nodes, lst.nodes[1:])]
+        assert all(d == lst.layout.size for d in deltas)
+
+    def test_chunked_layout_contiguous_within_chunk(self, memory, allocator):
+        rng = random.Random(3)
+        lst = build_list(memory, allocator, 32, chunk_nodes=8, rng=rng)
+        size = lst.layout.size
+        for start in range(0, 32, 8):
+            chunk = lst.nodes[start:start + 8]
+            assert all(b - a == size for a, b in zip(chunk, chunk[1:]))
+
+    def test_shuffled_layout_not_sequential(self, memory, allocator):
+        rng = random.Random(3)
+        lst = build_list(memory, allocator, 64, shuffle_allocation=True, rng=rng)
+        size = lst.layout.size
+        sequential = sum(
+            1 for a, b in zip(lst.nodes, lst.nodes[1:]) if b - a == size
+        )
+        assert sequential < 16
+
+    def test_satellite_records_written_and_linked(self, memory, allocator):
+        records = BumpAllocator(0x2000_0000, 1 << 20)
+        lst = build_list(
+            memory, allocator, 8, satellite_allocator=records, satellite_words=4
+        )
+        assert "rec" in lst.layout.fields
+        for node in lst.nodes:
+            rec = memory.read_word(lst.layout.addr_of(node, "rec"))
+            assert rec >= 0x2000_0000
+            assert memory.read_word(rec) != 0
+
+
+class TestWalk:
+    def test_visits_every_node(self, memory, allocator):
+        lst = build_list(memory, allocator, 10)
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(program, walk(program, pcs, lst, "t"))
+        next_pc = pcs.pc("t.next")
+        assert sum(1 for op in ops if op.pc == next_pc) == 10
+
+    def test_walk_ops_are_dependent_chain(self, memory, allocator):
+        lst = build_list(memory, allocator, 6)
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(program, walk(program, pcs, lst, "t"))
+        dependent = sum(1 for op in ops if op.dep >= 0)
+        assert dependent >= len(ops) - 2  # everything after the head chains
+
+    def test_max_nodes_bounds_walk(self, memory, allocator):
+        lst = build_list(memory, allocator, 10)
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(program, walk(program, pcs, lst, "t", max_nodes=3))
+        key_pc = pcs.pc("t.key")
+        assert sum(1 for op in ops if op.pc == key_pc) == 3
+
+    def test_satellite_deref_emits_record_loads(self, memory, allocator):
+        records = BumpAllocator(0x2000_0000, 1 << 20)
+        lst = build_list(
+            memory, allocator, 4, satellite_allocator=records
+        )
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(program, walk(program, pcs, lst, "t", deref_satellite=True))
+        rec_data_pc = pcs.pc("t.rec_data")
+        rec_loads = [op for op in ops if op.pc == rec_data_pc]
+        assert len(rec_loads) == 8  # 2 words x 4 nodes
+        assert all(op.addr >= 0x2000_0000 for op in rec_loads)
+
+
+class TestSearch:
+    def test_stops_at_match_and_touches_data(self, memory, allocator):
+        lst = build_list(memory, allocator, 10, keys=list(range(10)))
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(program, search(program, pcs, lst, 4, "s"))
+        key_pc = pcs.pc("s.key")
+        hit_pc = pcs.pc("s.hit_data")
+        assert sum(1 for op in ops if op.pc == key_pc) == 5  # keys 0..4
+        assert sum(1 for op in ops if op.pc == hit_pc) == 1
+
+    def test_miss_walks_whole_list(self, memory, allocator):
+        lst = build_list(memory, allocator, 7, keys=list(range(7)))
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(program, search(program, pcs, lst, 999, "s"))
+        key_pc = pcs.pc("s.key")
+        assert sum(1 for op in ops if op.pc == key_pc) == 7

@@ -1,0 +1,82 @@
+"""Unit tests for address arithmetic and the compare-bits predictor."""
+
+import pytest
+
+from repro.memory.address import (
+    ADDRESS_MASK,
+    align_down,
+    align_up,
+    block_address,
+    block_offset,
+    compare_bits_match,
+    is_aligned,
+    validate_address,
+)
+
+
+class TestAlignment:
+    def test_align_up_already_aligned(self):
+        assert align_up(0x1000, 64) == 0x1000
+
+    def test_align_up_rounds(self):
+        assert align_up(0x1001, 64) == 0x1040
+
+    def test_align_down(self):
+        assert align_down(0x103F, 64) == 0x1000
+
+    def test_is_aligned(self):
+        assert is_aligned(0x80, 128)
+        assert not is_aligned(0x81, 128)
+
+    @pytest.mark.parametrize("alignment", [4, 8, 64, 128, 4096])
+    def test_round_trip(self, alignment):
+        for addr in (0, 1, alignment - 1, alignment, 12345):
+            assert align_down(addr, alignment) <= addr <= align_up(addr, alignment)
+            assert is_aligned(align_up(addr, alignment), alignment)
+            assert is_aligned(align_down(addr, alignment), alignment)
+
+
+class TestBlockMath:
+    def test_block_address(self):
+        assert block_address(0x12345, 64) == 0x12340
+
+    def test_block_offset(self):
+        assert block_offset(0x12345, 64) == 5
+
+    def test_block_decomposition(self):
+        addr = 0xDEADBEE0
+        assert block_address(addr, 128) + block_offset(addr, 128) == addr
+
+
+class TestCompareBits:
+    def test_same_region_matches(self):
+        # Top 8 bits of value and block address agree.
+        assert compare_bits_match(0x10001234, 0x10FFFF80, 8)
+
+    def test_different_region_rejected(self):
+        assert not compare_bits_match(0x20001234, 0x10FFFF80, 8)
+
+    def test_small_integer_rejected(self):
+        # Values like loop counters share no high bits with heap blocks.
+        assert not compare_bits_match(42, 0x10FFFF80, 8)
+
+    def test_zero_compare_bits_accepts_everything(self):
+        assert compare_bits_match(42, 0x10FFFF80, 0)
+
+    def test_more_compare_bits_is_stricter(self):
+        value, block = 0x10F01234, 0x10000000
+        assert compare_bits_match(value, block, 4)
+        assert not compare_bits_match(value, block, 12)
+
+
+class TestValidation:
+    def test_valid(self):
+        assert validate_address(ADDRESS_MASK) == ADDRESS_MASK
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            validate_address(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            validate_address(1 << 32)

@@ -1,0 +1,104 @@
+"""Unit tests for the bump / free-list allocators and arena map."""
+
+import pytest
+
+from repro.memory.alloc import (
+    ArenaMap,
+    BumpAllocator,
+    FreeListAllocator,
+    OutOfSimulatedMemory,
+)
+
+
+class TestBumpAllocator:
+    def test_sequential_addresses(self):
+        alloc = BumpAllocator(0x1000, 4096)
+        first = alloc.allocate(16)
+        second = alloc.allocate(16)
+        assert second == first + 16
+
+    def test_alignment(self):
+        alloc = BumpAllocator(0x1000, 4096, alignment=8)
+        alloc.allocate(3)
+        second = alloc.allocate(4)
+        assert second % 8 == 0
+
+    def test_exhaustion_raises(self):
+        alloc = BumpAllocator(0x1000, 64)
+        alloc.allocate(64)
+        with pytest.raises(OutOfSimulatedMemory):
+            alloc.allocate(1)
+
+    def test_accounting(self):
+        alloc = BumpAllocator(0x1000, 128)
+        alloc.allocate(32)
+        assert alloc.bytes_used == 32
+        assert alloc.bytes_free == 96
+
+    def test_zero_size_rejected(self):
+        alloc = BumpAllocator(0x1000, 128)
+        with pytest.raises(ValueError):
+            alloc.allocate(0)
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            BumpAllocator(0, 128)
+
+
+class TestFreeListAllocator:
+    def test_reuse_after_free(self):
+        alloc = FreeListAllocator(0x1000, 4096)
+        addr = alloc.allocate(16)
+        alloc.free(addr)
+        assert alloc.allocate(16) == addr  # LIFO reuse, like fastbins
+
+    def test_size_classes_do_not_mix(self):
+        alloc = FreeListAllocator(0x1000, 4096)
+        small = alloc.allocate(16)
+        alloc.free(small)
+        big = alloc.allocate(64)
+        assert big != small
+
+    def test_double_free_rejected(self):
+        alloc = FreeListAllocator(0x1000, 4096)
+        addr = alloc.allocate(16)
+        alloc.free(addr)
+        with pytest.raises(ValueError):
+            alloc.free(addr)
+
+    def test_free_of_never_allocated_rejected(self):
+        alloc = FreeListAllocator(0x1000, 4096)
+        with pytest.raises(ValueError):
+            alloc.free(0x2000)
+
+
+class TestArenaMap:
+    def test_arenas_do_not_overlap(self):
+        arenas = ArenaMap()
+        a = arenas.new_arena("a", 4096)
+        b = arenas.new_arena("b", 4096)
+        end_of_a = a.base + a.size
+        assert b.base >= end_of_a
+
+    def test_duplicate_name_rejected(self):
+        arenas = ArenaMap()
+        arenas.new_arena("x", 64)
+        with pytest.raises(ValueError):
+            arenas.new_arena("x", 64)
+
+    def test_lookup_by_name(self):
+        arenas = ArenaMap()
+        created = arenas.new_arena("heap", 128)
+        assert arenas.arena("heap") is created
+
+    def test_free_list_variant(self):
+        arenas = ArenaMap()
+        arena = arenas.new_arena("churn", 4096, with_free_list=True)
+        addr = arena.allocate(32)
+        arena.free(addr)
+        assert arena.allocate(32) == addr
+
+    def test_bases_above_null_region(self):
+        arenas = ArenaMap()
+        arena = arenas.new_arena("h", 64)
+        assert arena.base >= ArenaMap.DEFAULT_BASE

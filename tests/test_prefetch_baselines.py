@@ -1,0 +1,187 @@
+"""Unit tests for Markov, GHB G/DC, DBP, and the Zhuang-Lee filter."""
+
+import pytest
+
+from repro.prefetch.dbp import DependenceBasedPrefetcher
+from repro.prefetch.filter_hw import HardwarePrefetchFilter
+from repro.prefetch.ghb import GhbPrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+
+BLOCK = 64
+
+
+def miss(prefetcher, block_number, pc=0):
+    return prefetcher.on_demand_access(
+        0.0, block_number * BLOCK, pc, l2_hit=False
+    )
+
+
+class TestMarkov:
+    def test_learns_and_replays_transition(self):
+        markov = MarkovPrefetcher(BLOCK)
+        miss(markov, 10)
+        miss(markov, 77)
+        miss(markov, 200)
+        requests = miss(markov, 10)  # 10 was followed by 77 before
+        assert any(r.block_addr == 77 * BLOCK for r in requests)
+
+    def test_unseen_address_predicts_nothing(self):
+        markov = MarkovPrefetcher(BLOCK)
+        miss(markov, 10)
+        assert miss(markov, 999) == []
+
+    def test_successors_per_entry_bounded(self):
+        markov = MarkovPrefetcher(BLOCK, successors_per_entry=2)
+        for successor in (20, 30, 40):
+            miss(markov, 10)
+            miss(markov, successor)
+        requests = miss(markov, 10)
+        assert len(requests) <= 2
+        # Oldest successor (20) was evicted from the entry.
+        assert all(r.block_addr != 20 * BLOCK for r in requests)
+
+    def test_table_capacity_bounded(self):
+        markov = MarkovPrefetcher(BLOCK, n_entries=4)
+        for b in range(20):
+            miss(markov, b * 50)
+        assert len(markov._table) <= 4
+
+    def test_storage_cost_scales(self):
+        small = MarkovPrefetcher(BLOCK, n_entries=16)
+        big = MarkovPrefetcher(BLOCK, n_entries=1024)
+        assert big.storage_bits() == 64 * small.storage_bits()
+
+    def test_hits_do_not_train(self):
+        markov = MarkovPrefetcher(BLOCK)
+        markov.on_demand_access(0.0, 10 * BLOCK, 0, l2_hit=True)
+        assert markov._last_miss is None
+
+
+class TestGhb:
+    def test_repeating_delta_pattern_predicted(self):
+        ghb = GhbPrefetcher(BLOCK)
+        ghb.set_level(1)  # degree 2
+        # Pattern of deltas: +1 +2 +1 +2 ...
+        blocks = [10, 11, 13, 14, 16, 17]
+        requests = []
+        for b in blocks:
+            requests = miss(ghb, b)
+        # After seeing (+2,+1) again, it should predict +2 -> block 19.
+        assert any(r.block_addr == 19 * BLOCK for r in requests)
+
+    def test_stride_pattern_predicted(self):
+        ghb = GhbPrefetcher(BLOCK)
+        requests = []
+        for b in (10, 12, 14, 16, 18):
+            requests = miss(ghb, b)
+        assert any(r.block_addr == 20 * BLOCK for r in requests)
+
+    def test_random_pattern_quiet(self):
+        ghb = GhbPrefetcher(BLOCK)
+        total = []
+        for b in (5, 400, 13, 812, 99, 271, 666):
+            total += miss(ghb, b)
+        assert total == []
+
+    def test_degree_follows_level(self):
+        ghb = GhbPrefetcher(BLOCK)
+        requests = {}
+        for level in (0, 3):
+            ghb.set_level(level)
+            for b in range(10, 30, 2):
+                requests[level] = miss(ghb, b)
+        assert len(requests[0]) >= 1
+        assert len(requests[3]) > len(requests[0])  # aggressive runs ahead
+
+    def test_footprint_replay_after_distant_occurrence(self):
+        """Re-seeing a delta pair replays what followed it last time —
+        the correlation mechanism that lets GHB prefetch repetitive
+        pointer-walk footprints (paper Section 6.3)."""
+        ghb = GhbPrefetcher(BLOCK)
+        ghb.set_level(0)  # degree 4
+        first_round = [10, 11, 12, 500, 907, 1410]
+        for b in first_round:
+            miss(ghb, b)
+        for b in (9000, 9900, 12345):  # unrelated interlude
+            miss(ghb, b)
+        miss(ghb, 8000)
+        miss(ghb, 8001)
+        requests = miss(ghb, 8002)  # (+1,+1) recurs
+        targets = [r.block_addr // BLOCK for r in requests]
+        # Deltas after the first occurrence: +488, +407, +503, then the
+        # interlude's first delta — replayed relative to 8002.
+        assert targets[:3] == [8002 + 488, 8002 + 488 + 407, 8002 + 488 + 407 + 503]
+        assert len(targets) <= 4  # bounded by degree
+
+    def test_history_compaction_bounds_memory(self):
+        ghb = GhbPrefetcher(BLOCK, n_entries=64)
+        for b in range(0, 100_000, 7):
+            miss(ghb, b)
+        assert len(ghb._positions) <= 4 * 64
+        assert all(pos >= ghb._base for pos in ghb._index.values())
+
+    def test_storage_cost_near_paper(self):
+        ghb = GhbPrefetcher(BLOCK, n_entries=1024)
+        assert 8 <= ghb.storage_bits() / 8 / 1024 <= 16  # ~12 KB
+
+
+class TestDbp:
+    def test_learns_producer_consumer_and_prefetches(self):
+        dbp = DependenceBasedPrefetcher(BLOCK)
+        producer_pc, consumer_addr = 0x400000, 0x1000_0000
+        # Producer loads a pointer value...
+        dbp.on_load_value(0.0, producer_pc, consumer_addr)
+        # ...consumer accesses value + 8: dependence learned.
+        dbp.on_demand_access(0.0, consumer_addr + 8, 0x400004, l2_hit=False)
+        # Next time the producer loads a new pointer, prefetch fires.
+        requests = dbp.on_load_value(1.0, producer_pc, 0x1000_4000)
+        assert any(r.block_addr == (0x1000_4000 + 8) & ~63 for r in requests)
+
+    def test_unrelated_loads_learn_nothing(self):
+        dbp = DependenceBasedPrefetcher(BLOCK)
+        dbp.on_load_value(0.0, 0x400000, 0x1000_0000)
+        dbp.on_demand_access(0.0, 0x2000_0000, 0x400004, l2_hit=False)
+        assert dbp.on_load_value(1.0, 0x400000, 0x1000_4000) == []
+
+    def test_small_values_not_producers(self):
+        dbp = DependenceBasedPrefetcher(BLOCK)
+        assert dbp.on_load_value(0.0, 0x400000, 42) == []
+
+    def test_correlation_table_bounded(self):
+        dbp = DependenceBasedPrefetcher(BLOCK, correlation_entries=4)
+        for i in range(10):
+            pc = 0x400000 + i * 4
+            dbp.on_load_value(0.0, pc, 0x1000_0000 + i * 0x1000)
+            dbp.on_demand_access(
+                0.0, 0x1000_0000 + i * 0x1000, 0x500000, l2_hit=False
+            )
+        assert len(dbp._correlations) <= 4
+
+    def test_storage_cost_near_paper(self):
+        dbp = DependenceBasedPrefetcher(BLOCK)
+        assert 2 <= dbp.storage_bits() / 8 / 1024 <= 4  # ~3 KB
+
+
+class TestHardwareFilter:
+    def test_allows_by_default(self):
+        hw = HardwarePrefetchFilter(1024)
+        assert hw.allows(0x1000)
+
+    def test_suppresses_after_useless_eviction(self):
+        hw = HardwarePrefetchFilter(1024)
+        hw.on_prefetch_evicted_unused(0x1000)
+        assert not hw.allows(0x1000)
+        assert hw.suppressed == 1
+
+    def test_use_clears_suppression(self):
+        hw = HardwarePrefetchFilter(1024)
+        hw.on_prefetch_evicted_unused(0x1000)
+        hw.on_prefetch_used(0x1000)
+        assert hw.allows(0x1000)
+
+    def test_storage_is_one_bit_per_entry(self):
+        assert HardwarePrefetchFilter(65536).storage_bits() == 65536
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            HardwarePrefetchFilter(1000)

@@ -1,0 +1,130 @@
+"""Unit tests for the content-directed prefetcher and ECDP filtering."""
+
+import pytest
+
+from repro.compiler.hints import HintTable
+from repro.prefetch.cdp import CDP_LEVELS, ContentDirectedPrefetcher
+
+BLOCK = 64
+BASE = 0x1000_0000  # compare-region base for all test pointers
+
+
+def words_with(pointers, n_words=16):
+    """A block image with the given {index: value} entries, zero elsewhere."""
+    words = [0] * n_words
+    for index, value in pointers.items():
+        words[index] = value
+    return words
+
+
+class TestScanning:
+    def test_pointers_found_by_compare_bits(self):
+        cdp = ContentDirectedPrefetcher(BLOCK, compare_bits=8)
+        words = words_with({2: BASE + 0x5000, 7: BASE + 0x9000})
+        requests = cdp.scan_fill(BASE, words, depth=1, demand_pc=0)
+        targets = {r.block_addr for r in requests}
+        assert targets == {BASE + 0x5000 & ~63, (BASE + 0x9000) & ~63}
+
+    def test_non_pointer_values_ignored(self):
+        cdp = ContentDirectedPrefetcher(BLOCK, compare_bits=8)
+        words = words_with({0: 17, 3: 0x7FFF_0000})  # small int, wrong region
+        assert cdp.scan_fill(BASE, words, depth=1, demand_pc=0) == []
+
+    def test_null_region_ignored(self):
+        cdp = ContentDirectedPrefetcher(BLOCK, compare_bits=0)
+        words = words_with({0: 0x800})  # below NULL_REGION_END
+        assert cdp.scan_fill(BASE, words, depth=1, demand_pc=0) == []
+
+    def test_self_pointing_block_skipped(self):
+        cdp = ContentDirectedPrefetcher(BLOCK, compare_bits=8)
+        words = words_with({0: BASE + 8})  # points into the same block
+        assert cdp.scan_fill(BASE, words, depth=1, demand_pc=0) == []
+
+    def test_duplicate_targets_deduplicated(self):
+        cdp = ContentDirectedPrefetcher(BLOCK, compare_bits=8)
+        words = words_with({0: BASE + 0x5000, 1: BASE + 0x5004})
+        requests = cdp.scan_fill(BASE, words, depth=1, demand_pc=0)
+        assert len(requests) == 1
+
+    def test_depth_recorded_on_requests(self):
+        cdp = ContentDirectedPrefetcher(BLOCK, compare_bits=8)
+        words = words_with({0: BASE + 0x5000})
+        (request,) = cdp.scan_fill(BASE, words, depth=2, demand_pc=None)
+        assert request.depth == 2
+
+
+class TestRecursionDepth:
+    def test_beyond_max_depth_returns_nothing(self):
+        cdp = ContentDirectedPrefetcher(BLOCK, compare_bits=8)
+        cdp.set_level(0)  # max recursion depth 1
+        words = words_with({0: BASE + 0x5000})
+        assert cdp.scan_fill(BASE, words, depth=2, demand_pc=None) == []
+
+    def test_levels_match_paper_table2(self):
+        assert CDP_LEVELS == (1, 2, 3, 4)
+
+    def test_max_depth_follows_level(self):
+        cdp = ContentDirectedPrefetcher(BLOCK)
+        for level, depth in enumerate(CDP_LEVELS):
+            cdp.set_level(level)
+            assert cdp.max_recursion_depth == depth
+
+
+class TestHintFiltering:
+    def _hints(self):
+        table = HintTable()
+        table.add_hint(0x400000, 8)    # offset +8 beneficial
+        table.add_hint(0x400000, -4)   # offset -4 beneficial
+        return table
+
+    def test_only_hinted_offsets_prefetched(self):
+        cdp = ContentDirectedPrefetcher(
+            BLOCK, compare_bits=8, hint_filter=self._hints().allows
+        )
+        # Load accessed byte offset 12; pointers at word indices 3,5 ->
+        # byte offsets 12,20 -> deltas +0,+8.
+        words = words_with({3: BASE + 0x5000, 5: BASE + 0x6000})
+        requests = cdp.scan_fill(
+            BASE, words, depth=1, demand_pc=0x400000, accessed_offset=12
+        )
+        targets = {r.block_addr for r in requests}
+        assert targets == {(BASE + 0x6000) & ~63}  # only delta +8
+
+    def test_negative_offsets_respected(self):
+        cdp = ContentDirectedPrefetcher(
+            BLOCK, compare_bits=8, hint_filter=self._hints().allows
+        )
+        words = words_with({2: BASE + 0x7000})  # byte 8; accessed 12 -> -4
+        requests = cdp.scan_fill(
+            BASE, words, depth=1, demand_pc=0x400000, accessed_offset=12
+        )
+        assert len(requests) == 1
+
+    def test_unhinted_load_prefetches_nothing(self):
+        cdp = ContentDirectedPrefetcher(
+            BLOCK, compare_bits=8, hint_filter=self._hints().allows
+        )
+        words = words_with({3: BASE + 0x5000})
+        assert (
+            cdp.scan_fill(BASE, words, depth=1, demand_pc=0x999999,
+                          accessed_offset=0)
+            == []
+        )
+
+    def test_prefetch_fills_scan_unfiltered(self):
+        """Paper Section 3: blocks fetched by CDP prefetches scan ALL."""
+        cdp = ContentDirectedPrefetcher(
+            BLOCK, compare_bits=8, hint_filter=self._hints().allows
+        )
+        words = words_with({0: BASE + 0x5000, 9: BASE + 0x6000})
+        requests = cdp.scan_fill(BASE, words, depth=2, demand_pc=None)
+        assert len(requests) == 2
+
+    def test_filter_statistics(self):
+        cdp = ContentDirectedPrefetcher(
+            BLOCK, compare_bits=8, hint_filter=self._hints().allows
+        )
+        words = words_with({3: BASE + 0x5000, 5: BASE + 0x6000})
+        cdp.scan_fill(BASE, words, depth=1, demand_pc=0x400000, accessed_offset=12)
+        assert cdp.candidates_seen == 2
+        assert cdp.candidates_filtered == 1

@@ -1,0 +1,106 @@
+"""Unit tests for the POWER4-style stream prefetcher."""
+
+import pytest
+
+from repro.prefetch.stream import STREAM_LEVELS, StreamPrefetcher
+
+BLOCK = 64
+
+
+def miss(prefetcher, block_number):
+    return prefetcher.on_demand_access(0.0, block_number * BLOCK, 0, l2_hit=False)
+
+
+class TestTraining:
+    def test_single_miss_trains_nothing(self):
+        stream = StreamPrefetcher(BLOCK)
+        assert miss(stream, 100) == []
+
+    def test_two_adjacent_misses_train_and_fire(self):
+        stream = StreamPrefetcher(BLOCK)
+        miss(stream, 100)
+        requests = miss(stream, 101)
+        assert requests
+        blocks = [r.block_addr // BLOCK for r in requests]
+        assert all(b > 101 for b in blocks)
+
+    def test_descending_direction_detected(self):
+        stream = StreamPrefetcher(BLOCK)
+        miss(stream, 100)
+        requests = miss(stream, 99)
+        blocks = [r.block_addr // BLOCK for r in requests]
+        assert all(b < 99 for b in blocks)
+
+    def test_far_misses_do_not_train(self):
+        stream = StreamPrefetcher(BLOCK)
+        miss(stream, 100)
+        assert miss(stream, 500) == []  # new stream allocated instead
+
+    def test_owner_name_on_requests(self):
+        stream = StreamPrefetcher(BLOCK, name="stream")
+        miss(stream, 1)
+        requests = miss(stream, 2)
+        assert all(r.owner == "stream" for r in requests)
+
+
+class TestDegreeAndDistance:
+    def test_aggressive_issues_degree_requests(self):
+        stream = StreamPrefetcher(BLOCK)
+        stream.set_level(3)  # (32, 4)
+        miss(stream, 10)
+        requests = miss(stream, 11)
+        assert len(requests) == 4
+
+    def test_very_conservative_issues_one(self):
+        stream = StreamPrefetcher(BLOCK)
+        stream.set_level(0)  # (4, 1)
+        miss(stream, 10)
+        requests = miss(stream, 11)
+        assert len(requests) == 1
+
+    def test_distance_caps_runahead(self):
+        stream = StreamPrefetcher(BLOCK)
+        stream.set_level(0)  # distance 4
+        miss(stream, 10)
+        total = []
+        for b in range(11, 14):
+            total += miss(stream, b)
+        blocks = [r.block_addr // BLOCK for r in total]
+        # Never more than distance(4) ahead of the triggering miss.
+        assert max(blocks) <= 13 + 4
+
+    def test_levels_match_paper_table2(self):
+        assert STREAM_LEVELS == ((4, 1), (8, 1), (16, 2), (32, 4))
+
+
+class TestStreamManagement:
+    def test_stream_count_bounded(self):
+        stream = StreamPrefetcher(BLOCK, n_streams=4)
+        for base in range(0, 4000, 100):  # far-apart misses
+            miss(stream, base)
+        assert len(stream._streams) <= 4
+
+    def test_advancing_stream_does_not_reissue(self):
+        stream = StreamPrefetcher(BLOCK)
+        stream.set_level(1)  # (8, 1)
+        miss(stream, 10)
+        first = miss(stream, 11)
+        second = miss(stream, 12)
+        issued = {r.block_addr for r in first} & {r.block_addr for r in second}
+        assert not issued  # no duplicate targets
+
+    def test_hit_advances_trained_stream(self):
+        stream = StreamPrefetcher(BLOCK)
+        miss(stream, 10)
+        miss(stream, 11)
+        requests = stream.on_demand_access(0.0, 12 * BLOCK, 0, l2_hit=True)
+        assert requests  # demand hits keep the stream running ahead
+
+    def test_throttle_up_down_clamped(self):
+        stream = StreamPrefetcher(BLOCK)
+        stream.set_level(3)
+        stream.throttle_up()
+        assert stream.level == 3
+        stream.set_level(0)
+        stream.throttle_down()
+        assert stream.level == 0

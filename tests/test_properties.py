@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.compiler.hints import HintVector
+from repro.compiler.pointer_group import PointerGroupProfile
+from repro.memory.address import (
+    align_down,
+    align_up,
+    block_address,
+    block_offset,
+    compare_bits_match,
+)
+from repro.memory.alloc import BumpAllocator, FreeListAllocator
+from repro.memory.backing import SimulatedMemory
+from repro.throttle.coordinated import decide_case
+from repro.throttle.feedback import SmoothedCounter
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+block_sizes = st.sampled_from([32, 64, 128, 256])
+
+
+class TestAddressProperties:
+    @given(addresses, block_sizes)
+    def test_block_decomposition_is_partition(self, addr, block):
+        assert block_address(addr, block) + block_offset(addr, block) == addr
+        assert block_address(addr, block) % block == 0
+        assert 0 <= block_offset(addr, block) < block
+
+    @given(addresses, st.sampled_from([4, 8, 16, 64, 4096]))
+    def test_align_bounds(self, addr, alignment):
+        down, up = align_down(addr, alignment), align_up(addr, alignment)
+        assert down <= addr <= up
+        assert up - down in (0, alignment)
+
+    @given(addresses, addresses, st.integers(min_value=1, max_value=31))
+    def test_compare_bits_symmetric_in_region(self, a, b, bits):
+        """Two addresses match iff they share the top `bits` bits — the
+        relation is symmetric."""
+        assert compare_bits_match(a, b, bits) == compare_bits_match(b, a, bits)
+
+    @given(addresses, st.integers(min_value=1, max_value=30))
+    def test_stricter_compare_bits_subset(self, value, bits):
+        block = 0x4000_0000
+        if compare_bits_match(value, block, bits + 1):
+            assert compare_bits_match(value, block, bits)
+
+
+class TestMemoryProperties:
+    @given(st.dictionaries(
+        st.integers(min_value=0, max_value=(1 << 30) - 1).map(lambda a: a * 4),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        max_size=50,
+    ))
+    def test_backing_store_is_a_map(self, writes):
+        memory = SimulatedMemory()
+        for addr, value in writes.items():
+            memory.write_word(addr, value)
+        for addr, value in writes.items():
+            assert memory.read_word(addr) == value
+
+    @given(st.lists(st.integers(min_value=1, max_value=256), min_size=1,
+                    max_size=50))
+    def test_bump_allocations_disjoint(self, sizes):
+        alloc = BumpAllocator(0x1000_0000, 1 << 20)
+        regions = []
+        for size in sizes:
+            base = alloc.allocate(size)
+            regions.append((base, base + size))
+        regions.sort()
+        for (_, prev_end), (next_base, _) in zip(regions, regions[1:]):
+            assert next_base >= prev_end
+
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=1, max_value=64)),
+                    max_size=60))
+    def test_free_list_live_regions_disjoint(self, actions):
+        alloc = FreeListAllocator(0x1000_0000, 1 << 20)
+        live = {}
+        for is_alloc, size in actions:
+            if is_alloc or not live:
+                addr = alloc.allocate(size)
+                assert addr not in live
+                live[addr] = size
+            else:
+                addr = next(iter(live))
+                alloc.free(addr)
+                del live[addr]
+        spans = sorted((a, a + s) for a, s in live.items())
+        for (_, prev_end), (next_base, _) in zip(spans, spans[1:]):
+            assert next_base >= prev_end
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                    max_size=300))
+    @settings(max_examples=40)
+    def test_occupancy_never_exceeds_capacity(self, block_numbers):
+        cache = SetAssociativeCache(1024, 2, 64)
+        for number in block_numbers:
+            if cache.lookup(number * 64) is None:
+                cache.insert(number * 64)
+            assert len(cache) <= cache.n_blocks
+        assert cache.stats.hits + cache.stats.misses == len(block_numbers)
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=200))
+    @settings(max_examples=40)
+    def test_most_recent_insert_always_resident(self, block_numbers):
+        cache = SetAssociativeCache(512, 2, 64)
+        for number in block_numbers:
+            cache.insert(number * 64)
+            assert cache.contains(number * 64)
+
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=2,
+                    max_size=100))
+    @settings(max_examples=40)
+    def test_eviction_conservation(self, block_numbers):
+        """Every insert either grows occupancy by one or evicts exactly one."""
+        cache = SetAssociativeCache(512, 2, 64)
+        inserted = 0
+        evicted = 0
+        for number in block_numbers:
+            if not cache.contains(number * 64):
+                victim = cache.insert(number * 64)
+                inserted += 1
+                if victim is not None:
+                    evicted += 1
+        assert len(cache) == inserted - evicted
+
+
+class TestHintVectorProperties:
+    deltas = st.integers(min_value=-31, max_value=31).map(lambda s: s * 4)
+
+    @given(st.sets(deltas, max_size=20))
+    def test_vector_encodes_exactly_the_set(self, offsets):
+        vector = HintVector()
+        for offset in offsets:
+            vector = vector.with_offset(offset)
+        for delta in range(-128, 129, 4):
+            assert vector.allows(delta) == (delta in offsets)
+        assert vector.bit_count == len(offsets)
+
+
+class TestFeedbackProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                    max_size=30))
+    def test_smoothed_counter_bounded_by_peak(self, counts):
+        counter = SmoothedCounter()
+        for count in counts:
+            counter.add(count)
+            counter.roll()
+        assert 0 <= counter.value <= max(counts)
+
+    @given(st.booleans(), st.sampled_from(["low", "medium", "high"]),
+           st.booleans())
+    def test_decision_table_total(self, coverage, accuracy, rival):
+        """Table 3 is total: every input maps to exactly one action."""
+        decision = decide_case(coverage, accuracy, rival)
+        assert decision.action in ("up", "down", "hold")
+        assert 1 <= decision.case <= 5
+
+
+class TestProfileProperties:
+    @given(st.lists(st.tuples(st.integers(0, 5), st.booleans()), max_size=100))
+    def test_usefulness_always_in_unit_interval(self, events):
+        profile = PointerGroupProfile()
+        for pg, useful in events:
+            key = (0x400000, pg * 4)
+            profile.record_issue(key)
+            if useful:
+                profile.record_use(key)
+        for __, stats in profile.items():
+            assert 0.0 <= stats.usefulness <= 1.0
+        assert sum(profile.usefulness_histogram()) == len(profile)

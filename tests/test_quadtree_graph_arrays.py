@@ -1,0 +1,152 @@
+"""Unit tests for quadtrees, pointer graphs, and arrays."""
+
+import random
+
+import pytest
+
+from repro.core.instruction import PcAllocator
+from repro.memory.alloc import BumpAllocator
+from repro.structures.arrays import (
+    build_array,
+    build_pointer_array,
+    random_walk,
+    sequential_walk,
+)
+from repro.structures.base import Program
+from repro.structures.graph import build_graph, pivot_walk
+from repro.structures.quadtree import CHILD_FIELDS, build_quadtree, perimeter_walk
+
+
+@pytest.fixture
+def allocator():
+    return BumpAllocator(0x1000_0000, 1 << 23)
+
+
+def drain(program, steps):
+    ops = []
+    for __ in steps:
+        ops.extend(program.drain())
+    ops.extend(program.drain())
+    return ops
+
+
+class TestQuadtree:
+    def test_interior_nodes_have_four_children(self, memory, allocator):
+        tree = build_quadtree(memory, allocator, depth=3, leaf_probability=0.0)
+        children = [
+            memory.read_word(tree.layout.addr_of(tree.root, c))
+            for c in CHILD_FIELDS
+        ]
+        assert all(children)
+
+    def test_depth_bound_respected(self, memory, allocator):
+        tree = build_quadtree(
+            memory, allocator, depth=2, leaf_probability=0.0, rng=random.Random(1)
+        )
+        # depth 2, no early leaves: 1 + 4 + 16 = 21 nodes
+        assert len(tree) == 21
+
+    def test_perimeter_walk_visits_all_nodes(self, memory, allocator):
+        tree = build_quadtree(
+            memory, allocator, depth=3, leaf_probability=0.3, rng=random.Random(2)
+        )
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(program, perimeter_walk(program, pcs, tree, "p"))
+        color_pc = pcs.pc("p.color")
+        assert sum(1 for op in ops if op.pc == color_pc) == len(tree)
+
+    def test_walk_loads_all_child_pointers(self, memory, allocator):
+        tree = build_quadtree(
+            memory, allocator, depth=2, leaf_probability=0.0, rng=random.Random(2)
+        )
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(program, perimeter_walk(program, pcs, tree, "p"))
+        for child in CHILD_FIELDS:
+            pc = pcs.pc(f"p.{child}")
+            assert sum(1 for op in ops if op.pc == pc) == len(tree)
+
+
+class TestPointerGraph:
+    def test_arcs_point_at_real_nodes(self, memory, allocator):
+        graph = build_graph(memory, allocator, 20, rng=random.Random(1))
+        node_set = set(graph.nodes)
+        for node in graph.nodes:
+            for a in range(graph.n_arcs):
+                target = memory.read_word(
+                    graph.layout.addr_of(node, f"arc_{a}")
+                )
+                assert target in node_set
+
+    def test_pivot_walk_step_count(self, memory, allocator):
+        graph = build_graph(memory, allocator, 20, rng=random.Random(1))
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(
+            program,
+            pivot_walk(program, pcs, graph, random.Random(2), "g", n_steps=25),
+        )
+        cost_pc = pcs.pc("g.cost")
+        assert sum(1 for op in ops if op.pc == cost_pc) == 25
+
+    def test_pivot_walk_is_dependent_chain(self, memory, allocator):
+        graph = build_graph(memory, allocator, 20, rng=random.Random(1))
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(
+            program,
+            pivot_walk(program, pcs, graph, random.Random(2), "g", n_steps=10),
+        )
+        # The first step starts from a literal node address (no producer);
+        # every later access chains off a loaded arc pointer.
+        assert all(op.dep >= 0 for op in ops[2:])
+
+
+class TestArrays:
+    def test_sequential_walk_covers_strided_indices(self, memory, allocator):
+        array = build_array(memory, allocator, 32, rng=random.Random(1))
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(
+            program,
+            sequential_walk(program, pcs, array, "a", stride_words=2),
+        )
+        assert len(ops) == 16
+        assert ops[1].addr - ops[0].addr == 8
+
+    def test_store_fraction_mixes_stores(self, memory, allocator):
+        array = build_array(memory, allocator, 100, rng=random.Random(1))
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(
+            program,
+            sequential_walk(
+                program, pcs, array, "a",
+                store_fraction=0.5, rng=random.Random(2),
+            ),
+        )
+        stores = sum(1 for op in ops if not op.is_load)
+        assert 20 <= stores <= 80
+
+    def test_random_walk_stays_in_bounds(self, memory, allocator):
+        array = build_array(memory, allocator, 64, rng=random.Random(1))
+        program = Program(memory)
+        pcs = PcAllocator()
+        ops = drain(
+            program,
+            random_walk(program, pcs, array, random.Random(3), "r", n_accesses=50),
+        )
+        assert all(array.base <= op.addr < array.base + 64 * 4 for op in ops)
+
+    def test_pointer_array_holds_targets(self, memory, allocator):
+        targets = [0x2000_0000, 0x2000_0040]
+        array = build_pointer_array(memory, allocator, targets)
+        assert memory.read_word(array.addr(0)) == targets[0]
+        assert memory.read_word(array.addr(1)) == targets[1]
+
+    def test_array_fill_modes(self, memory, allocator):
+        iota = build_array(memory, allocator, 8, fill="iota")
+        assert [memory.read_word(iota.addr(i)) for i in range(8)] == list(range(8))
+        with pytest.raises(ValueError):
+            build_array(memory, allocator, 8, fill="bogus")

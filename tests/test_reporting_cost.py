@@ -1,0 +1,91 @@
+"""Unit tests for the text reporting helpers and the Table 7 cost model."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.cost.hardware import baseline_costs, proposal_cost
+from repro.experiments.reporting import (
+    format_bars,
+    format_table,
+    pct,
+    side_by_side,
+)
+
+
+class TestFormatTable:
+    def test_headers_and_rows_rendered(self):
+        text = format_table(["name", "ipc"], [["mst", 1.25], ["gcc", 3.0]])
+        assert "name" in text and "mst" in text and "1.25" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table 6")
+        assert text.startswith("Table 6")
+
+    def test_column_alignment(self):
+        text = format_table(["x"], [["longvalue"], ["s"]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestFormatBars:
+    def test_bars_scale_to_peak(self):
+        text = format_bars(["a", "b"], [1.0, 2.0], width=10)
+        a_line, b_line = text.splitlines()
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_negative_values_signed(self):
+        text = format_bars(["down"], [-5.0])
+        assert "-" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_bars(["a"], [1.0, 2.0])
+
+
+class TestHelpers:
+    def test_pct(self):
+        assert pct(22.5) == "+22.5%"
+        assert pct(-25.0) == "-25.0%"
+
+    def test_side_by_side(self):
+        merged = side_by_side("a\nb", "x")
+        lines = merged.splitlines()
+        assert len(lines) == 2
+        assert "x" in lines[0]
+
+
+class TestCostModel:
+    def test_paper_scale_matches_table7(self):
+        """Table 7: 17296 bits = 2.11 KB at the paper's configuration."""
+        report = proposal_cost(SystemConfig.paper())
+        assert report.total_bits == 17296
+        assert report.total_kilobytes == pytest.approx(2.11, abs=0.01)
+
+    def test_paper_area_overhead(self):
+        report = proposal_cost(SystemConfig.paper())
+        overhead = report.area_overhead_vs_l2(SystemConfig.paper().l2_size)
+        assert overhead == pytest.approx(0.00206, abs=0.0001)
+
+    def test_three_cost_lines(self):
+        report = proposal_cost(SystemConfig.paper())
+        assert len(report.lines) == 3
+
+    def test_prefetched_bits_dominate(self):
+        """The paper notes the prefetched bits are the major cost; without
+        them only 912 bits remain."""
+        report = proposal_cost(SystemConfig.paper())
+        prefetched = report.lines[0].bits
+        assert report.total_bits - prefetched == 912
+
+    def test_scaled_cost_smaller(self):
+        paper = proposal_cost(SystemConfig.paper()).total_bits
+        scaled = proposal_cost(SystemConfig.scaled()).total_bits
+        assert scaled < paper
+
+    def test_ours_cheapest_realistic_baseline(self):
+        costs = baseline_costs(SystemConfig.paper())
+        ours = costs["ecdp+throttle (ours)"]
+        assert ours < costs["dbp"]
+        assert ours < costs["ghb"]
+        assert ours < costs["markov"] / 100

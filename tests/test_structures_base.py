@@ -1,0 +1,121 @@
+"""Unit tests for StructLayout, Program (trace emission, dependences)."""
+
+import pytest
+
+from repro.core.instruction import MemOp
+from repro.structures.base import Program, SilentWriter, StructLayout
+
+
+class TestStructLayout:
+    def test_offsets_are_word_multiples(self):
+        layout = StructLayout("node", ("key", "data", "next"))
+        assert layout.offset("key") == 0
+        assert layout.offset("data") == 4
+        assert layout.offset("next") == 8
+
+    def test_size(self):
+        layout = StructLayout("node", ("a", "b", "c", "d"))
+        assert layout.size == 16
+
+    def test_addr_of(self):
+        layout = StructLayout("node", ("key", "next"))
+        assert layout.addr_of(0x1000, "next") == 0x1004
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            StructLayout("bad", ("x", "x"))
+
+    def test_unknown_field_raises(self):
+        layout = StructLayout("node", ("key",))
+        with pytest.raises(ValueError):
+            layout.offset("nope")
+
+
+class TestProgram:
+    def test_load_reads_memory(self, memory):
+        memory.write_word(0x1000, 77)
+        program = Program(memory)
+        assert program.load(1, 0x1000) == 77
+
+    def test_store_writes_memory(self, memory):
+        program = Program(memory)
+        program.store(1, 0x1000, 55)
+        assert memory.read_word(0x1000) == 55
+
+    def test_ops_buffered_and_drained(self, memory):
+        program = Program(memory)
+        program.load(1, 0x1000)
+        program.store(2, 0x1004, 9)
+        ops = program.drain()
+        assert [op.is_load for op in ops] == [True, False]
+        assert program.drain() == []
+
+    def test_work_attaches_to_next_op(self, memory):
+        program = Program(memory)
+        program.work(7)
+        program.work(3)
+        program.load(1, 0x1000)
+        program.load(1, 0x1004)
+        first, second = program.drain()
+        assert first.work == 10
+        assert second.work == 0
+
+    def test_pc_recorded(self, memory):
+        program = Program(memory)
+        program.load(0x400010, 0x1000)
+        (op,) = program.drain()
+        assert op.pc == 0x400010
+
+
+class TestDependences:
+    def test_pointer_chase_is_dependent(self, memory):
+        # node A at 0x1000 holds pointer to node B at 0x2000.
+        memory.write_word(0x1000, 0x2000)
+        program = Program(memory)
+        node_b = program.load(1, 0x1000)  # seq 0, loads pointer 0x2000
+        program.load(2, node_b, base=node_b)  # seq 1, depends on seq 0
+        op_a, op_b = program.drain()
+        assert op_a.dep == -1
+        assert op_b.dep == 0
+
+    def test_field_access_inherits_dependence(self, memory):
+        memory.write_word(0x1000, 0x2000)
+        program = Program(memory)
+        node = program.load(1, 0x1000)
+        program.load(2, node + 8, base=node)  # node->field
+        __, field_op = program.drain()
+        assert field_op.dep == 0
+
+    def test_independent_load_has_no_dep(self, memory):
+        program = Program(memory)
+        program.load(1, 0x1000)
+        program.load(2, 0x2000)
+        ops = program.drain()
+        assert all(op.dep == -1 for op in ops)
+
+    def test_small_values_never_become_producers(self, memory):
+        memory.write_word(0x1000, 42)  # not a pointer
+        program = Program(memory)
+        value = program.load(1, 0x1000)
+        program.load(2, 0x2000, base=value)
+        __, second = program.drain()
+        assert second.dep == -1
+
+    def test_latest_producer_wins(self, memory):
+        memory.write_word(0x1000, 0x3000)
+        memory.write_word(0x2000, 0x3000)  # same pointer value, later load
+        program = Program(memory)
+        program.load(1, 0x1000)  # seq 0
+        program.load(2, 0x2000)  # seq 1
+        program.load(3, 0x3000, base=0x3000)  # depends on the most recent
+        ops = program.drain()
+        assert ops[2].dep == 1
+
+
+class TestSilentWriter:
+    def test_writes_without_trace(self, memory):
+        layout = StructLayout("node", ("key", "next"))
+        writer = SilentWriter(memory)
+        writer.store_fields(layout, 0x1000, {"key": 5, "next": 0x2000})
+        assert memory.read_word(0x1000) == 5
+        assert memory.read_word(0x1004) == 0x2000

@@ -1,0 +1,142 @@
+"""Unit tests for the FDP and Gendler (PAB) baselines."""
+
+import pytest
+
+from repro.prefetch.cdp import ContentDirectedPrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+from repro.throttle.fdp import FdpThresholds, FdpThrottle
+from repro.throttle.feedback import FeedbackCollector
+from repro.throttle.gendler import GendlerSelector, PrefetchAccuracyBuffer
+
+
+class TestFdp:
+    def _setup(self):
+        stream = StreamPrefetcher(64)
+        stream.set_level(2)
+        collector = FeedbackCollector(["stream"], interval_evictions=1)
+        controller = FdpThrottle([stream])
+        controller.attach(collector)
+        return stream, collector
+
+    def test_six_tuning_constants(self):
+        """The paper's Section 6.5 point: FDP needs six constants,
+        coordinated throttling three."""
+        import dataclasses
+        assert len(dataclasses.fields(FdpThresholds)) == 6
+
+    def test_accurate_and_late_throttles_up(self):
+        stream, collector = self._setup()
+        collector.record_issue("stream", 10)
+        for __ in range(9):
+            collector.record_use("stream", late=True)
+        collector.record_eviction(0, False, True)
+        assert stream.level == 3
+
+    def test_inaccurate_throttles_down(self):
+        stream, collector = self._setup()
+        collector.record_issue("stream", 100)
+        collector.record_use("stream")
+        collector.record_eviction(0, False, True)
+        assert stream.level == 1
+
+    def test_accurate_timely_holds(self):
+        stream, collector = self._setup()
+        collector.record_issue("stream", 10)
+        for __ in range(9):
+            collector.record_use("stream", late=False)
+        collector.record_eviction(0, False, True)
+        assert stream.level == 2
+
+    def test_fdp_ignores_rival_state(self):
+        """FDP's structural flaw (Section 6.5): its decision for one
+        prefetcher is identical whatever the other prefetcher does."""
+        results = []
+        for rival_covers in (False, True):
+            stream = StreamPrefetcher(64)
+            cdp = ContentDirectedPrefetcher(64)
+            stream.set_level(2)
+            cdp.set_level(2)
+            collector = FeedbackCollector(["stream", "cdp"], interval_evictions=1)
+            FdpThrottle([stream, cdp]).attach(collector)
+            collector.record_issue("stream", 100)
+            collector.record_use("stream")
+            if rival_covers:
+                collector.record_issue("cdp", 10)
+                for __ in range(10):
+                    collector.record_use("cdp")
+            collector.record_eviction(0, False, True)
+            results.append(stream.level)
+        assert results[0] == results[1]
+
+
+class TestPab:
+    def test_window_accuracy(self):
+        pab = PrefetchAccuracyBuffer(window=4)
+        for used in (True, False, True, True):
+            pab.record(used)
+        assert pab.accuracy == 0.75
+
+    def test_window_slides(self):
+        pab = PrefetchAccuracyBuffer(window=2)
+        pab.record(True)
+        pab.record(False)
+        pab.record(False)
+        assert pab.accuracy == 0.0
+
+    def test_empty_accuracy_zero(self):
+        assert PrefetchAccuracyBuffer().accuracy == 0.0
+
+
+class TestGendlerSelector:
+    def _setup(self):
+        stream = StreamPrefetcher(64, name="stream")
+        cdp = ContentDirectedPrefetcher(64, name="cdp")
+        selector = GendlerSelector([stream, cdp])
+        collector = FeedbackCollector(["stream", "cdp"], interval_evictions=1)
+        selector.attach(collector)
+        return selector, collector
+
+    def test_all_enabled_initially(self):
+        selector, __ = self._setup()
+        assert selector.is_enabled("stream")
+        assert selector.is_enabled("cdp")
+
+    def test_only_most_accurate_survives(self):
+        selector, collector = self._setup()
+        for __ in range(10):
+            selector.record_issue("cdp")
+            selector.record_use("cdp")
+        for __ in range(10):
+            selector.record_issue("stream")
+        collector.record_eviction(0, False, True)
+        assert selector.is_enabled("cdp")
+        assert not selector.is_enabled("stream")
+
+    def test_selection_can_flip(self):
+        selector, collector = self._setup()
+        for __ in range(10):
+            selector.record_issue("cdp")
+            selector.record_use("cdp")
+        collector.record_eviction(0, False, True)
+        # Now stream becomes perfectly accurate over a fresh window...
+        for __ in range(50):
+            selector.record_issue("stream")
+            selector.record_use("stream")
+        for __ in range(50):
+            selector.record_issue("cdp")
+        collector.record_eviction(0, False, True)
+        assert selector.is_enabled("stream")
+
+    def test_pab_ignores_coverage(self):
+        """The paper's criticism (Section 7.4): a 100%-accurate,
+        2-prefetch prefetcher beats one covering thousands of misses."""
+        selector, collector = self._setup()
+        selector.record_issue("cdp")
+        selector.record_use("cdp")  # 1/1 accurate
+        for __ in range(1000):
+            selector.record_issue("stream")
+            selector.record_use("stream")
+        selector.record_issue("stream")  # 1000/1001
+        collector.record_eviction(0, False, True)
+        assert selector.is_enabled("cdp")
+        assert not selector.is_enabled("stream")

@@ -1,0 +1,116 @@
+"""Unit tests for feedback counters, interval halving, pollution filter."""
+
+import pytest
+
+from repro.throttle.feedback import (
+    FeedbackCollector,
+    PollutionFilter,
+    SmoothedCounter,
+)
+
+
+class TestSmoothedCounter:
+    def test_halving_rule(self):
+        """Paper Eq. 3: half old value plus half the interval's count."""
+        counter = SmoothedCounter()
+        counter.add(10)
+        counter.roll()
+        assert counter.value == 5.0
+        counter.add(2)
+        counter.roll()
+        assert counter.value == 3.5  # 0.5*5 + 0.5*2
+
+    def test_recent_dominates_history(self):
+        counter = SmoothedCounter()
+        counter.add(100)
+        counter.roll()
+        for __ in range(10):
+            counter.roll()  # quiet intervals decay the history
+        assert counter.value < 0.1
+
+
+class TestPollutionFilter:
+    def test_displaced_then_missed_counts(self):
+        filt = PollutionFilter(64)
+        filt.mark_displaced(0x1000)
+        assert filt.check_and_clear(0x1000)
+        assert not filt.check_and_clear(0x1000)  # cleared
+
+    def test_unmarked_address_clean(self):
+        assert not PollutionFilter(64).check_and_clear(0x1000)
+
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            PollutionFilter(100)
+
+
+class TestFeedbackCollector:
+    def make(self, interval=4):
+        return FeedbackCollector(["stream", "cdp"], interval_evictions=interval)
+
+    def test_accuracy_eq1(self):
+        collector = self.make()
+        collector.record_issue("cdp", 10)
+        for __ in range(4):
+            collector.record_use("cdp")
+        assert collector.accuracy("cdp") == pytest.approx(0.4)
+
+    def test_coverage_eq2(self):
+        collector = self.make()
+        collector.record_issue("cdp", 10)
+        for __ in range(4):
+            collector.record_use("cdp")
+        for __ in range(6):
+            collector.record_demand_miss(0x1000)
+        assert collector.coverage("cdp") == pytest.approx(0.4)
+
+    def test_interval_fires_after_n_evictions(self):
+        collector = self.make(interval=3)
+        fired = []
+        collector.on_interval = fired.append
+        for __ in range(3):
+            collector.record_eviction(0x1000, by_prefetch=False,
+                                      victim_was_demand=True)
+        assert len(fired) == 1
+        assert collector.intervals_completed == 1
+
+    def test_counters_rolled_at_interval(self):
+        collector = self.make(interval=2)
+        collector.record_issue("stream", 8)
+        collector.record_eviction(0, False, True)
+        collector.record_eviction(0, False, True)
+        assert collector.counters["stream"].total_prefetched.value == 4.0
+
+    def test_lifetime_counters_never_halved(self):
+        collector = self.make(interval=1)
+        collector.record_issue("stream", 8)
+        collector.record_eviction(0, False, True)
+        collector.record_eviction(0, False, True)
+        assert collector.counters["stream"].lifetime_prefetched == 8
+
+    def test_pollution_tracked_via_filter(self):
+        collector = self.make()
+        collector.record_eviction(0x1000, by_prefetch=True,
+                                  victim_was_demand=True)
+        collector.record_demand_miss(0x1000)
+        assert collector.lifetime_pollution == 1
+
+    def test_prefetch_evicting_prefetch_not_pollution(self):
+        collector = self.make()
+        collector.record_eviction(0x1000, by_prefetch=True,
+                                  victim_was_demand=False)
+        collector.record_demand_miss(0x1000)
+        assert collector.lifetime_pollution == 0
+
+    def test_late_use_recorded(self):
+        collector = self.make()
+        collector.record_issue("cdp")
+        collector.record_use("cdp", late=True)
+        assert collector.counters["cdp"].lifetime_late == 1
+
+    def test_lifetime_coverage(self):
+        collector = self.make()
+        collector.record_issue("cdp", 4)
+        collector.record_use("cdp")
+        collector.record_demand_miss(0)
+        assert collector.lifetime_coverage("cdp") == pytest.approx(0.5)

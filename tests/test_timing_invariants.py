@@ -1,0 +1,108 @@
+"""Property-based tests on the timing model's invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SystemConfig
+from repro.core.cpu import Core
+from repro.core.instruction import MemOp, count_instructions
+from repro.dram.bus import MemoryBus
+from repro.dram.controller import DramController
+from repro.memory.backing import SimulatedMemory
+
+CFG = SystemConfig.scaled().with_overrides(
+    l1_size=1024, l1_ways=2, l2_size=4096, l2_ways=4
+)
+
+
+def make_core(config=CFG):
+    bus = MemoryBus(config.bus_bytes_per_cycle, config.bus_frequency_ratio)
+    dram = DramController(
+        config.dram_banks,
+        config.dram_bank_occupancy,
+        config.dram_controller_overhead,
+        bus,
+        config.block_size,
+        config.request_buffer_per_core,
+    )
+    return Core(config, SimulatedMemory(), dram)
+
+
+# Random traces: block-granular addresses in a small region, arbitrary
+# work, loads and stores, occasional dependences on recent loads.
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=120))
+    ops = []
+    load_count = 0
+    for __ in range(n):
+        addr = 0x1000_0000 + draw(st.integers(0, 255)) * 16
+        is_load = draw(st.booleans())
+        work = draw(st.integers(0, 40))
+        dep = -1
+        if is_load and load_count > 0 and draw(st.booleans()):
+            dep = draw(st.integers(0, load_count - 1))
+        ops.append(MemOp(0x400000, addr, is_load, work, dep))
+        if is_load:
+            load_count += 1
+    return ops
+
+
+class TestTimingInvariants:
+    @given(traces())
+    @settings(max_examples=30, deadline=None)
+    def test_retired_matches_trace(self, trace):
+        core = make_core()
+        result = core.run(trace)
+        assert result.retired_instructions == count_instructions(trace)
+
+    @given(traces())
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_bounded_below_by_dispatch(self, trace):
+        """The core can never finish faster than pure dispatch."""
+        core = make_core()
+        result = core.run(trace)
+        dispatch = count_instructions(trace) / CFG.issue_width
+        assert result.cycles >= dispatch - 1e-9
+
+    @given(traces())
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_bounded_above_by_serial_execution(self, trace):
+        """No schedule is worse than fully serializing every access at
+        worst-case latency."""
+        core = make_core()
+        result = core.run(trace)
+        worst_access = 4 * (CFG.min_memory_latency + CFG.l2_latency + 100)
+        upper = count_instructions(trace) / CFG.issue_width + len(trace) * worst_access
+        assert result.cycles <= upper
+
+    @given(traces())
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, trace):
+        first = make_core().run(list(trace))
+        second = make_core().run(list(trace))
+        assert first.cycles == second.cycles
+        assert first.bus_transfers == second.bus_transfers
+
+    @given(traces())
+    @settings(max_examples=20, deadline=None)
+    def test_misses_bounded_by_distinct_blocks_accessed(self, trace):
+        """Without prefetchers, every demand miss maps to a (re)fetch of
+        a block the trace touches; misses can exceed distinct blocks only
+        through capacity/conflict evictions, never below 1 per block."""
+        core = make_core()
+        result = core.run(trace)
+        distinct = len({op.addr // CFG.block_size for op in trace})
+        assert result.l2_demand_misses >= min(distinct, 1)
+        assert result.bus_transfers >= result.l2_demand_misses
+
+    @given(traces())
+    @settings(max_examples=20, deadline=None)
+    def test_hits_plus_misses_equal_lookups(self, trace):
+        core = make_core()
+        core.run(trace)
+        stats = core.l2.stats
+        l1_misses = core.l1.stats.misses
+        assert stats.hits + stats.misses == l1_misses

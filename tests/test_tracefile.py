@@ -1,0 +1,101 @@
+"""Tests for trace serialization (binary + text round trips)."""
+
+import pytest
+
+from repro.core.instruction import MemOp
+from repro.core.tracefile import (
+    load_trace,
+    load_trace_text,
+    save_trace,
+    save_trace_text,
+    trace_summary,
+)
+from repro.workloads.registry import get_workload
+
+
+def sample_trace():
+    return [
+        MemOp(0x400000, 0x1000_0000, True, 5, -1),
+        MemOp(0x400004, 0x1000_0040, False, 0, -1),
+        MemOp(0x400008, 0x2000_0000, True, 12, 0),
+        MemOp(0x40000C, 0xFFFF_FFFC, True, 0, 2),
+    ]
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.trace"
+        written = save_trace(path, sample_trace())
+        assert written == 4
+        assert list(load_trace(path)) == sample_trace()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ValueError, match="bad magic"):
+            list(load_trace(path))
+
+    def test_truncated_record_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(path, sample_trace())
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(ValueError, match="truncated"):
+            list(load_trace(path))
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        assert save_trace(path, []) == 0
+        assert list(load_trace(path)) == []
+
+    def test_workload_trace_round_trip(self, tmp_path):
+        instance = get_workload("mst").build("test")
+        original = list(instance.trace())
+        path = tmp_path / "mst.trace"
+        save_trace(path, original)
+        assert list(load_trace(path)) == original
+
+    def test_loading_is_lazy(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(path, sample_trace())
+        iterator = load_trace(path)
+        assert next(iterator).pc == 0x400000  # only the first record read
+
+
+class TestTextFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.txt"
+        save_trace_text(path, sample_trace())
+        assert list(load_trace_text(path)) == sample_trace()
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# header\n\n0x1 0x1000 L 3 -1\n")
+        ops = list(load_trace_text(path))
+        assert len(ops) == 1 and ops[0].work == 3
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("0x1 0x1000 X 3 -1\n")
+        with pytest.raises(ValueError, match="malformed"):
+            list(load_trace_text(path))
+
+
+class TestSummary:
+    def test_counts(self):
+        summary = trace_summary(sample_trace())
+        assert summary["ops"] == 4
+        assert summary["loads"] == 3
+        assert summary["stores"] == 1
+        assert summary["dependent_loads"] == 2
+        assert summary["instructions"] == 4 + 5 + 12
+
+    def test_address_range(self):
+        summary = trace_summary(sample_trace())
+        assert summary["min_addr"] == 0x1000_0000
+        assert summary["max_addr"] == 0xFFFF_FFFC
+
+    def test_empty(self):
+        summary = trace_summary([])
+        assert summary["ops"] == 0
+        assert summary["min_addr"] is None

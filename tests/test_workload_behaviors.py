@@ -1,0 +1,81 @@
+"""Behavior-specific workload tests: each analog must show the memory
+character the paper attributes to its original."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.runner import profile_benchmark, run_benchmark
+from repro.workloads.registry import get_workload
+
+CFG = SystemConfig.scaled()
+
+
+class TestMstFigure5:
+    """mst is the paper's worked example: next beneficial, data harmful."""
+
+    def test_profile_is_mostly_harmful(self):
+        profile = profile_benchmark("mst", CFG)
+        assert profile.beneficial_fraction() < 0.4
+
+    def test_chain_walk_floods_dominate(self):
+        """Chain-node blocks carry the d1/d2 record pointers of several
+        nodes: the volume leader among mst's PGs must be a chain-walk
+        load's group, and it must be harmful (Figure 5's point)."""
+        profile = profile_benchmark("mst", CFG)
+        instance = get_workload("mst").build("train")
+        walk_pcs = {
+            instance.pcs.pc("mst.lookup.key"),
+            instance.pcs.pc("mst.lookup.bucket_head"),
+            instance.pcs.pc("mst.lookup.next"),
+        }
+        top_key, top_stats = max(profile.items(), key=lambda kv: kv[1].issued)
+        assert top_key[0] in walk_pcs
+        assert top_stats.usefulness < 0.5
+
+
+class TestHealthChains:
+    def test_working_set_exceeds_l2(self):
+        instance = get_workload("health").build("ref")
+        footprint = len(instance.memory) * 4
+        assert footprint > 2 * CFG.l2_size
+
+    def test_profile_finds_beneficial_chains(self):
+        profile = profile_benchmark("health", CFG)
+        assert len(profile.beneficial_keys()) >= 3
+
+
+class TestBisortSwaps:
+    def test_all_pgs_harmful_under_swapping(self):
+        """Subtree swaps should leave no beneficial PG (the paper's
+        Section 2.3 pathology)."""
+        profile = profile_benchmark("bisort", CFG)
+        assert profile.beneficial_fraction() < 0.25
+
+
+class TestPerimeterQuadtree:
+    def test_mostly_beneficial(self):
+        """perimeter dereferences every pointer it loads (Table 1: 83%)."""
+        profile = profile_benchmark("perimeter", CFG)
+        assert profile.beneficial_fraction() > 0.4
+
+
+class TestStreamingSet:
+    @pytest.mark.parametrize("bench", ["libquantum", "bwaves", "milc"])
+    def test_stream_prefetcher_covers_streaming(self, bench):
+        result = run_benchmark(bench, "baseline", CFG, input_set="train")
+        assert result.coverage("stream") > 0.5
+
+    def test_sjeng_defeats_all_prefetchers(self):
+        base = run_benchmark("sjeng", "baseline", CFG, input_set="train")
+        assert base.coverage("stream") < 0.2
+
+
+class TestMcfGraph:
+    def test_cdp_accuracy_is_terrible(self):
+        """Table 1: mcf CDP accuracy 1.4% — arc chasing defeats greed."""
+        result = run_benchmark("mcf", "cdp", CFG, input_set="train")
+        assert result.accuracy("cdp") < 0.2
+
+    def test_memory_bound_baseline(self):
+        result = run_benchmark("mcf", "baseline", CFG, input_set="train")
+        assert result.ipc < 1.5

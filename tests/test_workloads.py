@@ -1,0 +1,113 @@
+"""Workload-level tests: registry, determinism, PC stability, shape."""
+
+import pytest
+
+from repro.core.instruction import count_instructions
+from repro.workloads.base import INPUT_SETS
+from repro.workloads.registry import (
+    POINTER_INTENSIVE_ORDER,
+    REGISTRY,
+    all_names,
+    get_workload,
+    non_pointer_names,
+    pointer_intensive_names,
+)
+
+
+class TestRegistry:
+    def test_fifteen_pointer_intensive(self):
+        assert len(pointer_intensive_names()) == 15
+        assert pointer_intensive_names() == POINTER_INTENSIVE_ORDER
+
+    def test_paper_benchmarks_present(self):
+        for name in ("mcf", "bisort", "health", "mst", "perimeter", "pfast"):
+            assert name in REGISTRY
+
+    def test_non_pointer_set_disjoint(self):
+        assert not set(non_pointer_names()) & set(pointer_intensive_names())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_all_names_covers_both_sets(self):
+        assert set(all_names()) >= set(pointer_intensive_names())
+        assert set(all_names()) >= set(non_pointer_names())
+
+
+@pytest.mark.parametrize("name", all_names())
+class TestEveryWorkload:
+    def test_builds_and_traces(self, name):
+        instance = get_workload(name).build("test")
+        ops = list(instance.trace())
+        assert len(ops) > 50, f"{name} trace too short"
+        assert all(op.addr > 0 for op in ops)
+
+    def test_trace_single_use(self, name):
+        instance = get_workload(name).build("test")
+        list(instance.trace())
+        with pytest.raises(RuntimeError):
+            instance.trace()
+
+    def test_deterministic_across_builds(self, name):
+        first = list(get_workload(name).build("test").trace())
+        second = list(get_workload(name).build("test").trace())
+        assert first == second
+
+    def test_input_sets_differ(self, name):
+        test_ops = list(get_workload(name).build("test").trace())
+        train_ops = list(get_workload(name).build("train").trace())
+        assert len(train_ops) > len(test_ops)
+
+
+@pytest.mark.parametrize("name", pointer_intensive_names())
+class TestPointerIntensiveProperties:
+    def test_lds_pcs_registered(self, name):
+        instance = get_workload(name).build("test")
+        assert instance.lds_pcs
+
+    def test_lds_pcs_stable_across_input_sets(self, name):
+        """Hint tables are keyed by PC: train and ref must agree."""
+        workload = get_workload(name)
+        train = workload.build("test")
+        ref = workload.build("train")
+        assert train.lds_pcs == ref.lds_pcs
+
+    def test_trace_allocates_no_new_pcs(self, name):
+        """All static sites are pre-registered in build() — running the
+        trace must not mint PCs the hint table has never seen."""
+        instance = get_workload(name).build("test")
+        lds_before = len(instance.pcs)
+        list(instance.trace())
+        # Non-LDS sites (array walks) may appear, but LDS sites must not
+        # move: re-resolving the registered names yields the same set.
+        assert instance.lds_pcs <= {
+            pc for __, pc in instance.pcs._by_name.items()
+        }
+        assert lds_before <= len(instance.pcs)
+
+    def test_has_dependent_loads(self, name):
+        instance = get_workload(name).build("test")
+        ops = list(instance.trace())
+        dependent = sum(1 for op in ops if op.is_load and op.dep >= 0)
+        assert dependent > 10, f"{name} has no pointer chasing"
+
+
+class TestInputSets:
+    def test_input_sets(self):
+        assert set(INPUT_SETS) == {"ref", "train", "test", "large"}
+        # large exists for paper-scale runs and dwarfs the others
+        assert INPUT_SETS["large"][0] > INPUT_SETS["ref"][0]
+
+    def test_unknown_input_set_rejected(self):
+        with pytest.raises(ValueError):
+            get_workload("mst").build("humongous")
+
+    def test_seeds_differ_between_input_sets(self):
+        workload = get_workload("mst")
+        assert workload.seed("ref") != workload.seed("train")
+
+    def test_instruction_counts_reasonable(self):
+        instance = get_workload("health").build("test")
+        total = count_instructions(instance.trace())
+        assert total > 1000
