@@ -69,4 +69,9 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    from repro.errors import ReproError
+
+    try:
+        main()
+    except ReproError as error:
+        raise SystemExit(f"error: {error}")

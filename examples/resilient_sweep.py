@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Resilient sweep: run an evaluation matrix through the execution engine.
+
+The paper's figures are built from dozens of (benchmark, mechanism) runs.
+This example runs a small matrix the way a large one should be run:
+
+* each simulation in its own worker process (a crash or hang cannot take
+  down the sweep),
+* a wall-clock timeout and retry budget per job,
+* a checkpoint journal, so re-running this script after an interruption
+  resumes instead of recomputing (delete the journal to start over).
+
+Usage::
+
+    python examples/resilient_sweep.py [--jobs N]
+
+The same machinery backs ``python -m repro sweep --jobs N --timeout S
+--resume``.
+"""
+
+import argparse
+
+from repro import SystemConfig
+from repro.errors import ReproError
+from repro.experiments.engine import (
+    CheckpointJournal,
+    ExecutionEngine,
+    Job,
+    RetryPolicy,
+)
+from repro.experiments.reporting import format_table
+
+BENCHMARKS = ["mst", "health", "bisort"]
+MECHANISMS = ["baseline", "cdp", "ecdp+throttle"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+
+    config = SystemConfig.scaled().validate()
+    engine = ExecutionEngine(
+        jobs=args.jobs,
+        timeout=600.0,
+        retry=RetryPolicy(max_attempts=2),
+        checkpoint=CheckpointJournal.for_sweep("example-resilient"),
+    )
+    jobs = [
+        Job(benchmark, mechanism, config)
+        for mechanism in MECHANISMS
+        for benchmark in BENCHMARKS
+    ]
+    report = engine.run(
+        jobs,
+        resume=True,
+        progress=lambda outcome: print(
+            f"  {outcome.job.label}: "
+            f"{'resumed' if outcome.resumed else outcome.status}"
+        ),
+    )
+
+    cells = report.by_cell()
+    rows = []
+    for benchmark in BENCHMARKS:
+        row = [benchmark]
+        for mechanism in MECHANISMS:
+            outcome = cells[(benchmark, mechanism)]
+            row.append(
+                f"{outcome.result.ipc:.3f}"
+                if outcome.ok
+                else f"FAILED({outcome.failure.error_type})"
+            )
+        rows.append(row)
+    print()
+    print(format_table(["benchmark"] + MECHANISMS, rows, title="IPC"))
+    if report.failures:
+        print(f"\n{len(report.failures)} job(s) failed:")
+        for failure in report.failures:
+            print(f"  {failure.job.label}: {failure.failure.reason}")
+    print(
+        f"\n{len(report.resumed)} of {len(jobs)} jobs came from the "
+        "checkpoint journal; run me again and all of them will."
+    )
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except ReproError as error:
+        raise SystemExit(f"error: {error}")

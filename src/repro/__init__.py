@@ -13,11 +13,27 @@ Public API quick map:
 * :mod:`repro.workloads` — the 15 pointer-intensive benchmark analogs and
   the streaming set.
 * :mod:`repro.cost` — the Table 7 hardware cost model.
+* :mod:`repro.experiments.engine` — resilient sweep execution:
+  crash-isolated parallel jobs, timeouts, retries, checkpoint-resume.
+* :mod:`repro.errors` — the :class:`~repro.errors.ReproError` taxonomy
+  every structured failure derives from.
 """
 
 from repro.core.config import SystemConfig
 from repro.core.stats import CoreResult
+from repro.errors import (
+    ConfigError,
+    ReproError,
+    TraceFormatError,
+    UnknownNameError,
+)
 from repro.experiments.configs import MECHANISMS, Mechanism, get_mechanism
+from repro.experiments.engine import (
+    CheckpointJournal,
+    ExecutionEngine,
+    Job,
+    RetryPolicy,
+)
 from repro.experiments.runner import (
     profile_benchmark,
     run_benchmark,
@@ -33,10 +49,18 @@ from repro.workloads.registry import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointJournal",
+    "ConfigError",
     "CoreResult",
+    "ExecutionEngine",
+    "Job",
     "MECHANISMS",
     "Mechanism",
+    "ReproError",
+    "RetryPolicy",
     "SystemConfig",
+    "TraceFormatError",
+    "UnknownNameError",
     "all_names",
     "get_mechanism",
     "get_workload",

@@ -6,20 +6,35 @@ Examples::
     python -m repro run health ecdp+throttle
     python -m repro compare mst
     python -m repro sweep --mechanisms cdp ecdp+throttle --benchmarks mcf mst
+    python -m repro sweep --jobs 4 --timeout 300 --resume
     python -m repro profile mst --top 12
     python -m repro multicore xalancbmk astar --mechanism ecdp+throttle
     python -m repro cost
+
+Exit codes: 0 — success; 1 — the sweep completed but some jobs failed
+(partial results were reported and checkpointed); 2 — usage or
+configuration error (unknown benchmark/mechanism, invalid config).
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 from typing import List, Optional
 
 from repro.core.config import SystemConfig
 from repro.cost.hardware import baseline_costs, proposal_cost
-from repro.experiments.configs import MECHANISMS
+from repro.errors import ReproError, UsageError
+from repro.experiments.configs import MECHANISMS, get_mechanism
+from repro.experiments.engine import (
+    CheckpointJournal,
+    ExecutionEngine,
+    FailedResult,
+    Job,
+    RetryPolicy,
+    is_failed,
+)
 from repro.experiments.metrics import (
     geomean,
     hmean_speedup,
@@ -35,13 +50,15 @@ from repro.experiments.runner import (
 )
 from repro.workloads.registry import (
     all_names,
+    get_workload,
     non_pointer_names,
     pointer_intensive_names,
 )
 
 
 def _config(args) -> SystemConfig:
-    return SystemConfig.paper() if args.paper else SystemConfig.scaled()
+    config = SystemConfig.paper() if args.paper else SystemConfig.scaled()
+    return config.validate()
 
 
 def _result_row(name: str, result, baseline=None) -> List[str]:
@@ -131,39 +148,109 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _sweep_name(benchmarks, mechanisms, input_set: str, paper: bool) -> str:
+    """Deterministic journal name so plain re-invocations find the file."""
+    payload = repr((sorted(benchmarks), sorted(mechanisms), input_set, paper))
+    return "sweep-" + hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
 def cmd_sweep(args) -> int:
+    if args.smoke:
+        # tiny end-to-end exercise of the engine (CI's 60-second budget)
+        args.benchmarks = args.benchmarks or ["mst", "bisort"]
+        args.mechanisms = args.mechanisms or ["cdp"]
+        args.input_set = "test"
+        args.timeout = args.timeout or 50.0
+    problems = {}
+    if args.jobs < 1:
+        problems["--jobs"] = f"must be >= 1, got {args.jobs}"
+    if args.timeout is not None and args.timeout <= 0:
+        problems["--timeout"] = f"must be positive, got {args.timeout}"
+    if args.retries < 0:
+        problems["--retries"] = f"must be >= 0, got {args.retries}"
+    if problems:
+        details = "; ".join(f"{k}: {v}" for k, v in sorted(problems.items()))
+        raise UsageError(f"invalid sweep options: {details}")
     config = _config(args)
-    benchmarks = args.benchmarks or pointer_intensive_names()
-    mechanisms = args.mechanisms or ["cdp", "ecdp", "ecdp+throttle"]
+    benchmarks = list(args.benchmarks or pointer_intensive_names())
+    mechanisms = list(args.mechanisms or ["cdp", "ecdp", "ecdp+throttle"])
+    all_mechanisms = ["baseline"] + [m for m in mechanisms if m != "baseline"]
+    # fail fast (exit 2) on unknown names before any simulation starts
+    for mechanism in all_mechanisms:
+        get_mechanism(mechanism)
+    for benchmark in benchmarks:
+        get_workload(benchmark)
+
+    journal = CheckpointJournal.for_sweep(
+        args.sweep_name
+        or _sweep_name(benchmarks, all_mechanisms, args.input_set, args.paper),
+        args.checkpoint_dir,
+    )
+    if not args.resume:
+        journal.clear()
+    engine = ExecutionEngine(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        checkpoint=journal,
+    )
+    jobs = [
+        Job(benchmark, mechanism, config, input_set=args.input_set)
+        for mechanism in all_mechanisms
+        for benchmark in benchmarks
+    ]
+    done = [0]
+
+    def progress(outcome) -> None:
+        done[0] += 1
+        state = "resumed" if outcome.resumed else outcome.status
+        detail = "" if outcome.ok else f" [{outcome.failure.reason}]"
+        print(
+            f"[{done[0]}/{len(jobs)}] {outcome.job.label}: {state}"
+            f" ({outcome.attempts} attempt(s), {outcome.duration:.1f}s)"
+            f"{detail}",
+            file=sys.stderr,
+        )
+
+    report = engine.run(jobs, resume=args.resume, progress=progress)
+    cells = report.by_cell()
+
+    def result_of(benchmark: str, mechanism: str):
+        outcome = cells[(benchmark, mechanism)]
+        return (
+            outcome.result if outcome.ok else FailedResult(outcome.failure)
+        )
+
+    baselines = {b: result_of(b, "baseline") for b in benchmarks}
     export_records = []
-    baselines = {
-        b: run_benchmark(b, "baseline", config, input_set=args.input_set)
-        for b in benchmarks
-    }
     rows = []
     for bench in benchmarks:
-        cells = [bench]
-        export_records.append(
-            result_record(bench, "baseline", baselines[bench])
-        )
+        cells_row = [bench]
+        base = baselines[bench]
+        export_records.append(result_record(bench, "baseline", base))
         for mechanism in mechanisms:
-            result = run_benchmark(bench, mechanism, config,
-                                   input_set=args.input_set)
+            result = result_of(bench, mechanism)
             export_records.append(result_record(bench, mechanism, result))
-            base = baselines[bench]
+            if is_failed(result) or is_failed(base):
+                cells_row.append(str(result if is_failed(result) else base))
+                continue
             bpki = (result.bpki / base.bpki - 1) * 100 if base.bpki else 0.0
-            cells.append(
+            cells_row.append(
                 f"{(result.ipc / base.ipc - 1) * 100:+.1f}/{bpki:+.0f}"
             )
-        rows.append(cells)
+        rows.append(cells_row)
     summary = ["gmean"]
     for mechanism in mechanisms:
         ratios = [
-            run_benchmark(b, mechanism, config, input_set=args.input_set).ipc
-            / baselines[b].ipc
+            result_of(b, mechanism).ipc / baselines[b].ipc
             for b in benchmarks
+            if not is_failed(result_of(b, mechanism))
+            and not is_failed(baselines[b])
+            and baselines[b].ipc
         ]
-        summary.append(f"{(geomean(ratios) - 1) * 100:+.1f}%")
+        summary.append(
+            f"{(geomean(ratios) - 1) * 100:+.1f}%" if ratios else "FAILED"
+        )
     rows.append(summary)
     print(
         format_table(
@@ -172,13 +259,24 @@ def cmd_sweep(args) -> int:
             title="sweep vs stream baseline",
         )
     )
+    print(
+        f"sweep: {len(jobs)} jobs, {len(report.ok)} ok, "
+        f"{len(report.failures)} failed, {len(report.resumed)} resumed "
+        f"(checkpoint: {journal.path})"
+    )
+    for failure in report.failures:
+        print(
+            f"FAILED {failure.job.label}: {failure.failure.reason} "
+            f"({failure.attempts} attempt(s))",
+            file=sys.stderr,
+        )
     if args.export:
         if args.export.endswith(".json"):
             write_json(args.export, export_records)
         else:
             write_csv(args.export, export_records)
         print(f"wrote {len(export_records)} records to {args.export}")
-    return 0
+    return report.exit_code
 
 
 def cmd_profile(args) -> int:
@@ -278,6 +376,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the paper-scale Table 5 configuration")
         p.add_argument("--input-set", default="ref",
                        choices=["ref", "train", "test"])
+        p.add_argument("--debug", action="store_true",
+                       help="print full tracebacks instead of one-line errors")
 
     p = sub.add_parser("list", help="list benchmarks and mechanisms")
     p.set_defaults(func=cmd_list)
@@ -294,11 +394,32 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(func=cmd_compare)
 
-    p = sub.add_parser("sweep", help="benchmark x mechanism table")
+    p = sub.add_parser(
+        "sweep",
+        help="benchmark x mechanism table (crash-isolated, resumable)",
+    )
     p.add_argument("--benchmarks", nargs="+")
     p.add_argument("--mechanisms", nargs="+")
     p.add_argument("--export", metavar="FILE.csv|FILE.json",
                    help="dump raw per-run metrics")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes to run in parallel (default 1)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock limit per job (default: none)")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="retries per job for transient failures (default 2)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip jobs already completed in the checkpoint "
+                        "journal; re-run only missing/failed ones")
+    p.add_argument("--checkpoint-dir", default=".repro-checkpoints",
+                   metavar="DIR",
+                   help="where sweep journals live (default "
+                        ".repro-checkpoints/)")
+    p.add_argument("--sweep-name", default=None, metavar="NAME",
+                   help="journal name (default: hash of the sweep matrix)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny fixed sweep exercising the engine end to end "
+                        "(CI smoke test)")
     common(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -324,11 +445,23 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    debug = getattr(args, "debug", False)
     try:
         return args.func(args)
+    except ReproError as error:
+        if debug:
+            raise
+        print(f"error: {error}", file=sys.stderr)
+        return getattr(error, "exit_code", 1)
     except KeyError as error:
+        if debug:
+            raise
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("interrupted (checkpoints are preserved; use --resume)",
+              file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

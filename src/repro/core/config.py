@@ -12,6 +12,32 @@ scales.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.errors import ConfigError
+
+#: fields that must be strictly positive integers
+_POSITIVE_FIELDS = (
+    "issue_width",
+    "rob_size",
+    "block_size",
+    "l1_size",
+    "l1_ways",
+    "l1_latency",
+    "l2_size",
+    "l2_ways",
+    "l2_latency",
+    "l2_mshrs",
+    "dram_banks",
+    "dram_bank_occupancy",
+    "bus_bytes_per_cycle",
+    "bus_frequency_ratio",
+    "request_buffer_per_core",
+    "prefetch_queue_size",
+    "stream_count",
+    "cdp_compare_bits",
+    "interval_evictions",
+)
 
 
 @dataclass(frozen=True)
@@ -95,3 +121,76 @@ class SystemConfig:
     def with_overrides(self, **kwargs) -> "SystemConfig":
         """A copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    def validate(self) -> "SystemConfig":
+        """Check every knob; raise :class:`ConfigError` naming each bad one.
+
+        Catching bad values here — with field-level messages — is what
+        keeps an invalid sweep config from surfacing hours later as a
+        deep assert inside the cache or DRAM model.  Returns ``self`` so
+        call sites can chain: ``config.validate()``.
+        """
+        problems: Dict[str, str] = {}
+        for name in _POSITIVE_FIELDS:
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems[name] = f"must be an integer (got {value!r})"
+            elif value <= 0:
+                problems[name] = f"must be positive (got {value})"
+
+        def ok(*names: str) -> bool:
+            return not any(name in problems for name in names)
+
+        if ok("block_size") and self.block_size & (self.block_size - 1):
+            problems["block_size"] = (
+                f"must be a power of two (got {self.block_size})"
+            )
+        if ok("dram_controller_overhead") and not (
+            isinstance(self.dram_controller_overhead, int)
+            and self.dram_controller_overhead >= 0
+        ):
+            problems["dram_controller_overhead"] = (
+                f"must be a non-negative integer "
+                f"(got {self.dram_controller_overhead!r})"
+            )
+        if ok("block_size", "bus_bytes_per_cycle") and (
+            self.block_size % self.bus_bytes_per_cycle
+        ):
+            problems["bus_bytes_per_cycle"] = (
+                f"must divide block_size ({self.block_size}); "
+                f"got {self.bus_bytes_per_cycle}"
+            )
+        for level in ("l1", "l2"):
+            size = getattr(self, f"{level}_size")
+            ways = getattr(self, f"{level}_ways")
+            if not ok(f"{level}_size", f"{level}_ways", "block_size"):
+                continue
+            if size % self.block_size:
+                problems[f"{level}_size"] = (
+                    f"must be a multiple of block_size "
+                    f"({self.block_size}); got {size}"
+                )
+            elif ways > size // self.block_size:
+                problems[f"{level}_ways"] = (
+                    f"exceeds the cache's {size // self.block_size} "
+                    f"blocks ({level}_size/block_size); got {ways}"
+                )
+        if ok("cdp_compare_bits") and self.cdp_compare_bits > 32:
+            problems["cdp_compare_bits"] = (
+                f"addresses are 32-bit; got {self.cdp_compare_bits}"
+            )
+        for name in ("t_coverage", "a_low", "a_high"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+                problems[name] = f"must be a fraction in [0, 1] (got {value!r})"
+        if ok("a_low", "a_high") and self.a_low >= self.a_high:
+            problems["a_low"] = (
+                f"must be below a_high ({self.a_high}); got {self.a_low}"
+            )
+        if problems:
+            details = "; ".join(
+                f"{name}: {message}"
+                for name, message in sorted(problems.items())
+            )
+            raise ConfigError(f"invalid SystemConfig: {details}", problems)
+        return self

@@ -14,15 +14,23 @@ Two formats:
 
 Both round-trip exactly, including dependence edges.  Loading is lazy
 (generators), so multi-million-op traces never fully materialize.
+
+Corruption is reported as :class:`~repro.errors.TraceFormatError` (a
+``ValueError`` subclass) carrying the byte offset and record index of the
+first bad record.  Both loaders also accept ``strict=False``, which skips
+corrupt records with a warning — the pragmatic mode for salvaging the
+intact prefix of a truncated archive.
 """
 
 from __future__ import annotations
 
 import struct
+import warnings
 from pathlib import Path
 from typing import Iterable, Iterator, Union
 
 from repro.core.instruction import MemOp
+from repro.errors import TraceFormatError
 
 MAGIC = b"RPTR\x01"
 _RECORD = struct.Struct("<IIBIi")
@@ -51,22 +59,43 @@ def save_trace(path: PathLike, trace: Iterable[MemOp]) -> int:
     return count
 
 
-def load_trace(path: PathLike) -> Iterator[MemOp]:
-    """Stream MemOps back from a binary trace file."""
+def load_trace(path: PathLike, strict: bool = True) -> Iterator[MemOp]:
+    """Stream MemOps back from a binary trace file.
+
+    With ``strict=False`` a truncated tail record is skipped with a
+    warning instead of raising, yielding the intact prefix.
+    """
     with open(path, "rb") as stream:
         header = stream.read(len(MAGIC))
         if header != MAGIC:
-            raise ValueError(
-                f"{path}: not a repro trace file (bad magic {header!r})"
+            raise TraceFormatError(
+                f"{path}: not a repro trace file (bad magic {header!r})",
+                path=path,
+                offset=0,
+                record_index=0,
             )
+        offset = len(MAGIC)
+        index = 0
         while True:
             record = stream.read(_RECORD.size)
             if not record:
                 break
             if len(record) != _RECORD.size:
-                raise ValueError(f"{path}: truncated trace record")
+                message = (
+                    f"{path}: truncated trace record {index} at byte "
+                    f"offset {offset} ({len(record)} of {_RECORD.size} "
+                    "bytes)"
+                )
+                if strict:
+                    raise TraceFormatError(
+                        message, path=path, offset=offset, record_index=index
+                    )
+                warnings.warn(f"{message}; dropping corrupt tail")
+                break
             pc, addr, flags, work, dep = _RECORD.unpack(record)
             yield MemOp(pc, addr, bool(flags & _FLAG_LOAD), work, dep)
+            offset += _RECORD.size
+            index += 1
 
 
 def save_trace_text(path: PathLike, trace: Iterable[MemOp]) -> int:
@@ -83,22 +112,48 @@ def save_trace_text(path: PathLike, trace: Iterable[MemOp]) -> int:
     return count
 
 
-def load_trace_text(path: PathLike) -> Iterator[MemOp]:
-    """Stream MemOps back from a text trace file."""
-    with open(path) as stream:
-        for line_number, line in enumerate(stream, 1):
-            line = line.strip()
+def load_trace_text(path: PathLike, strict: bool = True) -> Iterator[MemOp]:
+    """Stream MemOps back from a text trace file.
+
+    With ``strict=False`` malformed lines are skipped with a warning
+    instead of raising.
+    """
+    offset = 0
+    with open(path, "rb") as stream:
+        for line_number, raw in enumerate(stream, 1):
+            line_offset = offset
+            offset += len(raw)
+            line = raw.decode("utf-8", errors="replace").strip()
             if not line or line.startswith("#"):
                 continue
+            op = None
             fields = line.split()
-            if len(fields) != 5 or fields[2] not in ("L", "S"):
-                raise ValueError(
-                    f"{path}:{line_number}: malformed trace line {line!r}"
+            if len(fields) == 5 and fields[2] in ("L", "S"):
+                try:
+                    op = MemOp(
+                        int(fields[0], 16),
+                        int(fields[1], 16),
+                        fields[2] == "L",
+                        int(fields[3]),
+                        int(fields[4]),
+                    )
+                except ValueError:
+                    op = None
+            if op is None:
+                message = (
+                    f"{path}:{line_number}: malformed trace line {line!r} "
+                    f"at byte offset {line_offset}"
                 )
-            pc, addr = int(fields[0], 16), int(fields[1], 16)
-            yield MemOp(
-                pc, addr, fields[2] == "L", int(fields[3]), int(fields[4])
-            )
+                if strict:
+                    raise TraceFormatError(
+                        message,
+                        path=path,
+                        offset=line_offset,
+                        record_index=line_number,
+                    )
+                warnings.warn(f"{message}; skipping corrupt record")
+                continue
+            yield op
 
 
 def trace_summary(trace: Iterable[MemOp]) -> dict:

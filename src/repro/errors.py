@@ -1,0 +1,125 @@
+"""Structured error taxonomy for the whole library.
+
+Every error the runner, execution engine, or CLI can surface derives from
+:class:`ReproError`, so callers (and the ``repro`` command) can catch one
+type, print one actionable line, and map it to a meaningful exit code:
+
+* ``exit_code == 2`` — the user asked for something invalid (bad config,
+  unknown benchmark/mechanism, malformed trace file).  Fix the invocation.
+* ``exit_code == 1`` — the request was valid but execution failed (a job
+  timed out, a worker crashed, retries were exhausted).
+
+The ``transient`` flag drives the execution engine's retry policy:
+transient failures (timeouts, worker loss, ``OSError``) are retried with
+exponential backoff; permanent failures (:class:`ConfigError`,
+:class:`TraceFormatError`) fail fast — rerunning a job against the same
+bad input can never succeed.
+
+Some classes multiply inherit from the builtin their call sites
+historically raised (``KeyError``, ``ValueError``) so existing callers
+that catch the builtin keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class ReproError(Exception):
+    """Base class of every structured error in the library."""
+
+    #: process exit code the CLI maps this error to
+    exit_code = 1
+    #: whether the execution engine should retry a job that raised this
+    transient = False
+
+
+class UsageError(ReproError):
+    """The command line or API call itself was malformed."""
+
+    exit_code = 2
+
+
+class ConfigError(UsageError):
+    """A SystemConfig (or other configuration) failed validation.
+
+    ``fields`` maps each offending field name to a human-readable
+    message, so callers can report exactly which knob is wrong.
+    """
+
+    def __init__(self, message: str, fields: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.fields: Dict[str, str] = dict(fields or {})
+
+
+class UnknownNameError(UsageError, KeyError):
+    """An unknown benchmark, mechanism, or prefetcher name was requested.
+
+    Subclasses ``KeyError`` because registry lookups historically raised
+    that; ``__str__`` is overridden to drop KeyError's repr-quoting.
+    """
+
+    def __str__(self) -> str:  # KeyError would print repr(args[0])
+        return self.args[0] if self.args else ""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A trace file is corrupt, truncated, or not a trace file at all.
+
+    Carries the byte ``offset`` and zero-based ``record_index`` of the
+    first bad record so the corruption can be located and repaired.
+    """
+
+    exit_code = 2
+
+    def __init__(
+        self,
+        message: str,
+        path: object = None,
+        offset: Optional[int] = None,
+        record_index: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+        self.record_index = record_index
+
+
+class TransientError(ReproError):
+    """An explicitly-transient failure; the engine will retry it."""
+
+    transient = True
+
+
+class JobError(ReproError):
+    """A job failed inside the execution engine."""
+
+
+class JobTimeoutError(JobError):
+    """A job exceeded its wall-clock timeout and was killed."""
+
+    transient = True
+
+
+class WorkerCrashError(JobError):
+    """A worker process died without reporting a result."""
+
+    transient = True
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal could not be read or written."""
+
+
+def is_transient(error: BaseException) -> bool:
+    """Should the execution engine retry a job that raised *error*?
+
+    Structured errors carry their own flag; of the builtins, I/O-shaped
+    failures (``OSError``, ``TimeoutError``) are considered transient.
+    Everything else — assertion failures, ``ValueError``, arbitrary
+    exceptions from a simulation — is permanent: retrying the same
+    deterministic simulation cannot change its outcome.
+    """
+    if isinstance(error, ReproError):
+        return error.transient
+    return isinstance(error, (OSError, TimeoutError))

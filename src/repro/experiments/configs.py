@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.core.config import SystemConfig
+from repro.errors import UnknownNameError
 
 __all__ = ["Mechanism", "MECHANISMS", "SystemConfig"]
 
@@ -97,6 +98,6 @@ def get_mechanism(name: str) -> Mechanism:
     try:
         return MECHANISMS[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown mechanism {name!r}; known: {sorted(MECHANISMS)}"
         ) from None

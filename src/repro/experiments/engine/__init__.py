@@ -1,0 +1,59 @@
+"""Resilient experiment execution engine.
+
+The paper's evaluation is a large (benchmark x mechanism x config) matrix;
+this package executes that matrix the way a production sweep must run:
+
+* each simulation runs crash-isolated in its own worker process — a hung
+  workload, a segfaulting extension, or an unpicklable exception degrades
+  to a recorded :class:`JobFailure`, never an aborted sweep;
+* per-job wall-clock timeouts with a bounded exponential-backoff retry
+  policy for transient failures;
+* a JSONL checkpoint journal written after every job, so an interrupted
+  sweep resumes with only the missing jobs (keyed by a content hash of
+  the job's benchmark, mechanism, and full config);
+* a :class:`SweepReport` that downstream reporting renders with explicit
+  ``FAILED(reason)`` cells instead of crashing.
+
+Quick tour::
+
+    from repro.experiments.engine import (
+        CheckpointJournal, ExecutionEngine, Job, RetryPolicy,
+    )
+
+    engine = ExecutionEngine(
+        jobs=4, timeout=300.0, retry=RetryPolicy(max_attempts=3),
+        checkpoint=CheckpointJournal.for_sweep("fig7"),
+    )
+    report = engine.run([Job("mst", "ecdp+throttle"), ...], resume=True)
+    for failure in report.failures:
+        print(failure.job.label, failure.failure.reason)
+"""
+
+from repro.experiments.engine.checkpoint import CheckpointJournal
+from repro.experiments.engine.executor import ExecutionEngine, SweepReport
+from repro.experiments.engine.job import (
+    FailedResult,
+    Job,
+    JobFailure,
+    JobResult,
+    ResultSnapshot,
+    is_failed,
+    snapshot_metrics,
+)
+from repro.experiments.engine.retry import RetryPolicy
+from repro.experiments.engine.worker import default_worker
+
+__all__ = [
+    "CheckpointJournal",
+    "ExecutionEngine",
+    "FailedResult",
+    "Job",
+    "JobFailure",
+    "JobResult",
+    "ResultSnapshot",
+    "RetryPolicy",
+    "SweepReport",
+    "default_worker",
+    "is_failed",
+    "snapshot_metrics",
+]

@@ -1,0 +1,115 @@
+"""JSONL checkpoint journal: resume an interrupted sweep.
+
+One JSON record per completed job, appended (single ``write`` + flush +
+fsync, so a crash mid-sweep loses at most the in-flight line) to
+``.repro-checkpoints/<sweep>.jsonl``.  Records are keyed by the job's
+content hash, so resuming recognises completed work even across process
+restarts and reordered job lists.  A corrupt trailing line — the telltale
+of a sweep killed mid-write — is skipped with a warning rather than
+poisoning the resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import warnings
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.errors import CheckpointError
+from repro.experiments.engine.job import JobResult, snapshot_metrics
+
+PathLike = Union[str, Path]
+
+#: default directory for sweep journals, relative to the working directory
+DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
+
+
+class CheckpointJournal:
+    """Append-only journal of job outcomes for one sweep."""
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+
+    @classmethod
+    def for_sweep(
+        cls, name: str, directory: PathLike = DEFAULT_CHECKPOINT_DIR
+    ) -> "CheckpointJournal":
+        """Journal at ``<directory>/<sanitized name>.jsonl``."""
+        slug = re.sub(r"[^A-Za-z0-9._+-]+", "_", name).strip("_") or "sweep"
+        return cls(Path(directory) / f"{slug}.jsonl")
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def clear(self) -> None:
+        """Delete the journal (start the sweep from scratch)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot clear checkpoint {self.path}: {error}"
+            ) from error
+
+    def load(self) -> Dict[str, dict]:
+        """Map job key -> last recorded outcome; {} if no journal yet."""
+        if not self.path.exists():
+            return {}
+        records: Dict[str, dict] = {}
+        try:
+            raw = self.path.read_text()
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {error}"
+            ) from error
+        for line_number, line in enumerate(raw.splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = record["key"]
+            except (ValueError, KeyError, TypeError):
+                warnings.warn(
+                    f"{self.path}:{line_number}: skipping corrupt "
+                    "checkpoint record (interrupted write?)"
+                )
+                continue
+            records[key] = record
+        return records
+
+    def record(self, outcome: JobResult) -> None:
+        """Append one job outcome; atomic at line granularity."""
+        job = outcome.job
+        record = {
+            "key": job.key(),
+            "benchmark": job.benchmark,
+            "mechanism": job.mechanism,
+            "input_set": job.input_set,
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "duration": round(outcome.duration, 6),
+        }
+        if outcome.ok:
+            record["metrics"] = snapshot_metrics(outcome.result)
+        elif outcome.failure is not None:
+            record["error"] = {
+                "type": outcome.failure.error_type,
+                "message": outcome.failure.message,
+                "transient": outcome.failure.transient,
+            }
+        line = json.dumps(record, sort_keys=True, default=repr) + "\n"
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as stream:
+                stream.write(line)
+                stream.flush()
+                os.fsync(stream.fileno())
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot write checkpoint {self.path}: {error}"
+            ) from error

@@ -1,0 +1,332 @@
+"""Process-pool executor: crash isolation, timeouts, retries, resume.
+
+Each job attempt runs in its own worker process connected to the parent
+by a one-way pipe.  The parent multiplexes over every live pipe *and*
+every process sentinel, so all three failure shapes are observed
+directly:
+
+* the worker reports — ``("ok", result)`` or ``("error", info)``;
+* the worker dies silently (segfault, ``os._exit``, OOM kill) — its
+  sentinel fires with no message queued → :class:`WorkerCrashError`;
+* the worker wedges — its deadline passes → SIGTERM, then SIGKILL →
+  :class:`JobTimeoutError`.
+
+Transient failures re-enter the queue with exponential backoff until the
+retry budget is spent; every terminal outcome is appended to the
+checkpoint journal before the next job is scheduled, so at any kill
+point the journal describes exactly the completed prefix of the sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_ready
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.engine.checkpoint import CheckpointJournal
+from repro.experiments.engine.job import (
+    Job,
+    JobFailure,
+    JobResult,
+    ResultSnapshot,
+)
+from repro.experiments.engine.retry import RetryPolicy
+from repro.experiments.engine.worker import default_worker, worker_shim
+
+#: upper bound on one scheduler tick, so deadlines are checked promptly
+_MAX_TICK = 0.2
+
+
+@dataclass
+class _Attempt:
+    """A job waiting to run (possibly a delayed retry)."""
+
+    job: Job
+    attempt: int = 1
+    not_before: float = 0.0
+
+
+@dataclass
+class _Running:
+    """A live worker process and the attempt it is executing."""
+
+    entry: _Attempt
+    process: object
+    conn: object
+    deadline: Optional[float]
+    started: float
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced, failures included."""
+
+    results: Dict[str, JobResult] = field(default_factory=dict)
+    #: job keys in first-submission order (stable reporting order)
+    order: List[str] = field(default_factory=list)
+
+    def __iter__(self):
+        return (self.results[key] for key in self.order)
+
+    @property
+    def ok(self) -> List[JobResult]:
+        return [r for r in self if r.ok]
+
+    @property
+    def failures(self) -> List[JobResult]:
+        return [r for r in self if not r.ok]
+
+    @property
+    def resumed(self) -> List[JobResult]:
+        return [r for r in self if r.resumed]
+
+    @property
+    def exit_code(self) -> int:
+        """0 if every job succeeded, 1 if any failed (partial sweep)."""
+        return 1 if self.failures else 0
+
+    def by_cell(self) -> Dict[Tuple[str, str], JobResult]:
+        """(benchmark, mechanism) -> outcome, for table assembly."""
+        return {(r.job.benchmark, r.job.mechanism): r for r in self}
+
+
+class ExecutionEngine:
+    """Run a list of jobs to completion, whatever the jobs do."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint: Optional[CheckpointJournal] = None,
+        worker: Optional[Callable[[Job], object]] = None,
+        start_method: Optional[str] = None,
+        seed: int = 0x5EED,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self.checkpoint = checkpoint
+        self.worker = worker or default_worker
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._rng = random.Random(seed)
+
+    # -- public ------------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Iterable[Job],
+        resume: bool = False,
+        progress: Optional[Callable[[JobResult], None]] = None,
+    ) -> SweepReport:
+        """Execute every job; never raises for anything a job did.
+
+        With ``resume=True`` and a checkpoint journal, jobs whose key has
+        a successful journal record are replayed as resumed results and
+        not re-executed; failed records are retried from scratch.
+        """
+        report = SweepReport()
+        prior = (
+            self.checkpoint.load() if (resume and self.checkpoint) else {}
+        )
+        pending: "deque[_Attempt]" = deque()
+        seen = set()
+        for job in jobs:
+            key = job.key()
+            if key in seen:
+                continue  # the same cell submitted twice is one job
+            seen.add(key)
+            report.order.append(key)
+            record = prior.get(key)
+            if record is not None and record.get("status") == "ok":
+                outcome = JobResult(
+                    job,
+                    "ok",
+                    result=ResultSnapshot(record.get("metrics") or {}),
+                    attempts=int(record.get("attempts", 1)),
+                    duration=float(record.get("duration", 0.0)),
+                    resumed=True,
+                )
+                report.results[key] = outcome
+                if progress is not None:
+                    progress(outcome)
+            else:
+                pending.append(_Attempt(job))
+        running: List[_Running] = []
+        try:
+            while pending or running:
+                self._launch(pending, running)
+                self._reap(pending, running, report, progress)
+        finally:
+            for live in running:  # interrupted: leave no orphans behind
+                self._kill(live.process)
+                self._close(live.conn)
+        return report
+
+    # -- scheduling --------------------------------------------------------
+
+    def _launch(self, pending, running) -> None:
+        now = time.monotonic()
+        for _ in range(len(pending)):
+            if len(running) >= self.jobs:
+                return
+            entry = pending.popleft()
+            if entry.not_before > now:
+                pending.append(entry)  # still backing off; try the next
+                continue
+            recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+            process = self._ctx.Process(
+                target=worker_shim,
+                args=(send_conn, self.worker, entry.job),
+                daemon=True,
+            )
+            process.start()
+            send_conn.close()  # child holds the only writer now
+            started = time.monotonic()
+            deadline = started + self.timeout if self.timeout else None
+            running.append(
+                _Running(entry, process, recv_conn, deadline, started)
+            )
+
+    def _reap(self, pending, running, report, progress) -> None:
+        if not running:
+            if pending:  # everything is backing off; sleep to the nearest
+                wake = min(entry.not_before for entry in pending)
+                delay = wake - time.monotonic()
+                if delay > 0:
+                    time.sleep(min(delay, _MAX_TICK))
+            return
+        handles = [live.conn for live in running]
+        handles += [live.process.sentinel for live in running]
+        _wait_ready(handles, timeout=self._tick(pending, running))
+        now = time.monotonic()
+        still_running: List[_Running] = []
+        for live in running:
+            outcome = self._poll(live, now)
+            if outcome is None:
+                still_running.append(live)
+            else:
+                self._settle(live, outcome, pending, report, progress)
+        running[:] = still_running
+
+    def _tick(self, pending, running) -> float:
+        now = time.monotonic()
+        tick = _MAX_TICK
+        for live in running:
+            if live.deadline is not None:
+                tick = min(tick, live.deadline - now)
+        for entry in pending:
+            if entry.not_before:
+                tick = min(tick, entry.not_before - now)
+        return max(0.01, tick)
+
+    # -- outcome handling --------------------------------------------------
+
+    def _poll(self, live: _Running, now: float):
+        """The attempt's outcome message, or None if still running."""
+        try:
+            has_message = live.conn.poll()
+        except (OSError, ValueError):
+            has_message = False
+        if has_message:
+            try:
+                message = live.conn.recv()
+            except (EOFError, OSError):  # died mid-send
+                message = None
+            live.process.join(5)
+            if live.process.is_alive():
+                self._kill(live.process)
+            if message is not None:
+                return message
+            return self._crash_outcome(live)
+        if not live.process.is_alive():
+            live.process.join()
+            return self._crash_outcome(live)
+        if live.deadline is not None and now >= live.deadline:
+            self._kill(live.process)
+            return (
+                "error",
+                {
+                    "type": "JobTimeoutError",
+                    "message": f"timed out after {self.timeout:g}s",
+                    "transient": True,
+                },
+            )
+        return None
+
+    def _crash_outcome(self, live: _Running):
+        exitcode = live.process.exitcode
+        return (
+            "error",
+            {
+                "type": "WorkerCrashError",
+                "message": (
+                    f"worker died without a result (exit code {exitcode})"
+                ),
+                "transient": True,
+            },
+        )
+
+    def _settle(self, live, outcome, pending, report, progress) -> None:
+        self._close(live.conn)
+        entry = live.entry
+        duration = time.monotonic() - live.started
+        kind, payload = outcome
+        if kind == "ok":
+            result = JobResult(
+                entry.job, "ok", result=payload,
+                attempts=entry.attempt, duration=duration,
+            )
+        else:
+            failure = JobFailure(
+                error_type=str(payload.get("type", "Exception")),
+                message=str(payload.get("message", "")),
+                transient=bool(payload.get("transient", False)),
+            )
+            if self.retry.should_retry(entry.attempt, failure.transient):
+                pending.append(
+                    _Attempt(
+                        entry.job,
+                        entry.attempt + 1,
+                        time.monotonic()
+                        + self.retry.delay(entry.attempt, self._rng),
+                    )
+                )
+                return  # not terminal yet: no record, no report entry
+            result = JobResult(
+                entry.job, "failed", failure=failure,
+                attempts=entry.attempt, duration=duration,
+            )
+        report.results[entry.job.key()] = result
+        if self.checkpoint is not None:
+            self.checkpoint.record(result)
+        if progress is not None:
+            progress(result)
+
+    # -- process plumbing --------------------------------------------------
+
+    @staticmethod
+    def _kill(process) -> None:
+        try:
+            if process.is_alive():
+                process.terminate()
+                process.join(0.5)
+            if process.is_alive():
+                process.kill()
+                process.join(5)
+        except (OSError, ValueError, AttributeError):
+            pass
+
+    @staticmethod
+    def _close(conn) -> None:
+        try:
+            conn.close()
+        except Exception:
+            pass

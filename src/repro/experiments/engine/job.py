@@ -1,0 +1,187 @@
+"""Job model: what to run, how it went, and deterministic job identity.
+
+A :class:`Job` is one (benchmark, mechanism, config, input set) cell of an
+evaluation matrix.  Its :meth:`Job.key` is a content hash over every field
+— two sweeps that ask for the same cell under the same configuration
+produce the same key, which is what lets the checkpoint journal recognise
+already-completed work across process restarts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.config import SystemConfig
+
+#: scalar CoreResult attributes preserved in checkpoint snapshots
+_SCALAR_METRICS = (
+    "ipc",
+    "bpki",
+    "retired_instructions",
+    "cycles",
+    "l1_hits",
+    "l1_misses",
+    "l2_hits",
+    "l2_demand_misses",
+    "bus_transfers",
+)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work for the execution engine."""
+
+    benchmark: str
+    mechanism: str
+    config: SystemConfig = field(default_factory=SystemConfig.scaled)
+    input_set: str = "ref"
+    profile_input: str = "train"
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}/{self.mechanism}"
+
+    def key(self) -> str:
+        """Deterministic content hash identifying this job across runs."""
+        if dataclasses.is_dataclass(self.config) and not isinstance(
+            self.config, type
+        ):
+            config = dataclasses.asdict(self.config)
+        elif isinstance(self.config, dict):
+            config = dict(self.config)
+        else:
+            config = {"repr": repr(self.config)}
+        payload = json.dumps(
+            {
+                "benchmark": self.benchmark,
+                "mechanism": self.mechanism,
+                "input_set": self.input_set,
+                "profile_input": self.profile_input,
+                "config": config,
+            },
+            sort_keys=True,
+            default=repr,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class JobFailure:
+    """Why a job ultimately failed (after any retries)."""
+
+    error_type: str
+    message: str
+    transient: bool = False
+
+    @property
+    def reason(self) -> str:
+        return f"{self.error_type}: {self.message}" if self.message else self.error_type
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: a result, or a recorded failure."""
+
+    job: Job
+    status: str  # "ok" | "failed"
+    result: Any = None
+    failure: Optional[JobFailure] = None
+    attempts: int = 1
+    duration: float = 0.0
+    #: True when this outcome was replayed from a checkpoint journal
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class FailedResult:
+    """Placeholder that stands in for a CoreResult when its job failed.
+
+    Renders as ``FAILED(<error type>)`` so figure tables degrade to
+    explicit failure cells instead of crashing on a missing result.
+    """
+
+    ok = False
+
+    def __init__(self, failure: JobFailure):
+        self.failure = failure
+
+    @property
+    def reason(self) -> str:
+        return self.failure.reason
+
+    def __str__(self) -> str:
+        return f"FAILED({self.failure.error_type})"
+
+    def __repr__(self) -> str:
+        return f"FailedResult({self.failure.reason!r})"
+
+
+def is_failed(result: Any) -> bool:
+    """True for FailedResult placeholders (and missing results)."""
+    return result is None or getattr(result, "ok", True) is False
+
+
+class ResultSnapshot:
+    """Metrics of a checkpointed run, re-hydrated from the journal.
+
+    Exposes the same reporting surface as ``CoreResult`` (``ipc``,
+    ``bpki``, ``accuracy(owner)``, ...) but holds only the scalar metrics
+    the journal preserved, not event-level detail.
+    """
+
+    ok = True
+    resumed = True
+
+    def __init__(self, metrics: Dict[str, Any]):
+        self._metrics = dict(metrics or {})
+
+    def __getattr__(self, name: str) -> Any:
+        if name in _SCALAR_METRICS:
+            return self._metrics.get(name, 0)
+        raise AttributeError(name)
+
+    def accuracy(self, owner: str) -> float:
+        return float(self._metrics.get(f"{owner}_accuracy", 0.0))
+
+    def coverage(self, owner: str) -> float:
+        return float(self._metrics.get(f"{owner}_coverage", 0.0))
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._metrics.get(name, default)
+
+    def __repr__(self) -> str:
+        return f"ResultSnapshot({self._metrics!r})"
+
+
+def snapshot_metrics(result: Any) -> Dict[str, Any]:
+    """Flatten a worker's result into JSON-safe metrics for the journal."""
+    if result is None:
+        return {}
+    if isinstance(result, ResultSnapshot):
+        return dict(result._metrics)
+    if isinstance(result, dict):
+        return {
+            key: value
+            for key, value in result.items()
+            if isinstance(key, str)
+            and isinstance(value, (int, float, str, bool, type(None)))
+        }
+    metrics: Dict[str, Any] = {}
+    for name in _SCALAR_METRICS:
+        value = getattr(result, name, None)
+        if isinstance(value, (int, float)):
+            metrics[name] = value
+    for owner in getattr(result, "prefetchers", None) or ():
+        try:
+            metrics[f"{owner}_accuracy"] = result.accuracy(owner)
+            metrics[f"{owner}_coverage"] = result.coverage(owner)
+        except Exception:  # a result type with a partial surface
+            continue
+    return metrics

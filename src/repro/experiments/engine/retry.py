@@ -1,0 +1,40 @@
+"""Bounded retry policy with exponential backoff and jitter.
+
+Only *transient* failures are retried (timeouts, worker loss, ``OSError``
+— see :func:`repro.errors.is_transient`); permanent failures like
+:class:`~repro.errors.ConfigError` fail fast on the first attempt.
+Backoff doubles per attempt up to ``max_delay``, with multiplicative
+jitter so a pool of retrying jobs doesn't stampede a shared resource
+(trace file server, NFS mount, ...) in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to attempt a job, and how long to wait between."""
+
+    #: total attempts, including the first (1 = never retry)
+    max_attempts: int = 3
+    #: backoff before the second attempt, in seconds
+    base_delay: float = 0.25
+    #: backoff ceiling, in seconds
+    max_delay: float = 8.0
+    #: jitter fraction; the delay is scaled by [1, 1 + jitter)
+    jitter: float = 0.25
+
+    def should_retry(self, attempt: int, transient: bool) -> bool:
+        """Retry after *attempt* attempts failing with a *transient* error?"""
+        return transient and attempt < self.max_attempts
+
+    def delay(self, attempt: int, rng: "random.Random" = None) -> float:
+        """Seconds to wait before attempt ``attempt + 1``."""
+        rng = rng or random
+        backoff = min(
+            self.max_delay, self.base_delay * (2 ** max(0, attempt - 1))
+        )
+        return backoff * (1.0 + self.jitter * rng.random())

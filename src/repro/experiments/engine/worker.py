@@ -1,0 +1,82 @@
+"""Worker-process entry points.
+
+These run on the child side of the engine's process pool, so everything
+here must be importable by qualified name (picklable).  The shim is the
+crash barrier: whatever the simulation does — raise, return something
+unpicklable, even ``os._exit`` — the parent either receives a structured
+``("ok", result)`` / ``("error", info)`` message or observes the process
+sentinel and records a worker crash.  Nothing a job does can take down
+the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import is_transient
+from repro.experiments.engine.job import Job
+
+
+def default_worker(job: Job) -> Any:
+    """Run one (benchmark, mechanism) simulation; the engine's default."""
+    from repro.experiments.runner import run_benchmark
+
+    if hasattr(job.config, "validate"):
+        job.config.validate()
+    return run_benchmark(
+        job.benchmark,
+        job.mechanism,
+        job.config,
+        input_set=job.input_set,
+        profile_input=job.profile_input,
+    )
+
+
+def error_info(error: BaseException) -> Dict[str, Any]:
+    """JSON-safe description of an exception (never raises)."""
+    try:
+        message = str(error)
+    except Exception:
+        message = "<unprintable exception>"
+    return {
+        "type": type(error).__name__,
+        "message": message,
+        "transient": is_transient(error),
+    }
+
+
+def worker_shim(conn, worker, job: Job) -> None:
+    """Child-process main: run *worker* on *job*, report over *conn*."""
+    try:
+        try:
+            result = worker(job)
+        except BaseException as error:  # the barrier: report, don't escape
+            _send(conn, ("error", error_info(error)))
+            return
+        try:
+            conn.send(("ok", result))
+        except Exception as error:  # unpicklable / oversized result
+            _send(
+                conn,
+                (
+                    "error",
+                    {
+                        "type": "JobError",
+                        "message": f"result not transferable: {error}",
+                        "transient": False,
+                    },
+                ),
+            )
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _send(conn, message) -> None:
+    """Best-effort send; a dead parent pipe is not worth crashing over."""
+    try:
+        conn.send(message)
+    except Exception:
+        pass

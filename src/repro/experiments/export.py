@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Dict, List, Union
 
 from repro.core.stats import CoreResult
+from repro.experiments.engine import is_failed
 
 PathLike = Union[str, Path]
 
@@ -20,6 +21,7 @@ PathLike = Union[str, Path]
 FIELDS = [
     "benchmark",
     "mechanism",
+    "status",
     "ipc",
     "bpki",
     "retired_instructions",
@@ -34,10 +36,24 @@ FIELDS = [
 
 
 def result_record(benchmark: str, mechanism: str, result: CoreResult) -> Dict:
-    """Flatten one run's metrics into an export row."""
+    """Flatten one run's metrics into an export row.
+
+    A failed run exports with ``status`` carrying the failure reason and
+    every metric column null, so downstream analysis sees the hole
+    explicitly instead of a silently missing row.
+    """
+    if is_failed(result):
+        reason = getattr(result, "reason", "unknown failure")
+        record = {field: None for field in FIELDS}
+        record.update(
+            benchmark=benchmark, mechanism=mechanism,
+            status=f"FAILED({reason})",
+        )
+        return record
     return {
         "benchmark": benchmark,
         "mechanism": mechanism,
+        "status": "ok",
         "ipc": result.ipc,
         "bpki": result.bpki,
         "retired_instructions": result.retired_instructions,

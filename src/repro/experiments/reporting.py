@@ -61,6 +61,15 @@ def pct(value: float, decimals: int = 1) -> str:
 
 
 def _cell(value: object) -> str:
+    """Render one table cell.
+
+    Floats get the standard precision; ``None`` (a missing metric) prints
+    as a dash; a :class:`~repro.experiments.engine.FailedResult` renders
+    through its own ``__str__`` as ``FAILED(reason)``, so tables built
+    from a partially-failed sweep degrade instead of crashing.
+    """
+    if value is None:
+        return "-"
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)

@@ -12,9 +12,12 @@ figures.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import os
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.compiler.hints import CoarseLoadFilter, HintTable
+from repro.errors import ConfigError
 from repro.compiler.profiler import ProfilerConfig, profile_trace
 from repro.core.config import SystemConfig
 from repro.core.cpu import Core
@@ -39,14 +42,105 @@ from repro.throttle.gendler import GendlerSelector
 from repro.workloads.base import WorkloadInstance
 from repro.workloads.registry import get_workload
 
-_PROFILE_CACHE: Dict[Tuple, object] = {}
-_RESULT_CACHE: Dict[Tuple, CoreResult] = {}
+class LruCache:
+    """Bounded least-recently-used map with hit/miss/eviction counters.
+
+    The old module-level dict caches grew without bound — a long sweep
+    over many configs would hold every profile and CoreResult it ever
+    computed.  This keeps the memoization (baselines recur across
+    figures) while bounding footprint and making behaviour observable.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if not isinstance(capacity, int) or capacity < 1:
+            raise ConfigError(
+                f"cache capacity must be a positive integer (got {capacity!r})"
+            )
+        self.capacity = capacity
+        self._data: "OrderedDict" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def resize(self, capacity: int) -> None:
+        """Change the bound, evicting LRU entries if shrinking."""
+        if not isinstance(capacity, int) or capacity < 1:
+            raise ConfigError(
+                f"cache capacity must be a positive integer (got {capacity!r})"
+            )
+        self.capacity = capacity
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop entries and reset counters."""
+        self._data.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+def _default_cache_capacity() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_CACHE_SIZE", "128")))
+    except ValueError:
+        return 128
+
+
+_PROFILE_CACHE = LruCache(_default_cache_capacity())
+_RESULT_CACHE = LruCache(_default_cache_capacity())
 
 
 def clear_caches() -> None:
     """Drop memoized profiles and results (tests use this)."""
     _PROFILE_CACHE.clear()
     _RESULT_CACHE.clear()
+
+
+def set_cache_capacity(capacity: int) -> None:
+    """Re-bound both memoization caches (evicting LRU entries if needed)."""
+    _PROFILE_CACHE.resize(capacity)
+    _RESULT_CACHE.resize(capacity)
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/eviction counters for both memoization caches."""
+    return {
+        "profiles": _PROFILE_CACHE.stats,
+        "results": _RESULT_CACHE.stats,
+    }
 
 
 def profiler_config(config: SystemConfig) -> ProfilerConfig:
@@ -74,7 +168,7 @@ def profile_benchmark(
     profile = profile_trace(
         instance.memory, instance.trace(), profiler_config(config)
     )
-    _PROFILE_CACHE[key] = profile
+    _PROFILE_CACHE.put(key, profile)
     return profile
 
 
@@ -92,7 +186,7 @@ def hint_filter_for(
         return HintTable.from_profile(profile).allows
     if mechanism.hints in ("grp", "loadfilter"):
         return CoarseLoadFilter.from_profile(profile).allows
-    raise ValueError(f"unknown hint mode {mechanism.hints!r}")
+    raise ConfigError(f"unknown hint mode {mechanism.hints!r}")
 
 
 def make_dram(config: SystemConfig, n_cores: int = 1) -> DramController:
@@ -152,7 +246,9 @@ def build_core(
     elif mechanism.correlation == "nextline":
         correlation.append(NextLinePrefetcher(config.block_size))
     elif mechanism.correlation != "none":
-        raise ValueError(f"unknown correlation prefetcher {mechanism.correlation!r}")
+        raise ConfigError(
+            f"unknown correlation prefetcher {mechanism.correlation!r}"
+        )
     hw_filter = HardwarePrefetchFilter() if mechanism.hw_filter else None
 
     throttled = [p for p in (stream, cdp, *correlation, dbp) if p is not None]
@@ -188,7 +284,7 @@ def build_core(
     elif mechanism.throttle == "gendler":
         gendler.attach(core.feedback)
     elif mechanism.throttle != "none":
-        raise ValueError(f"unknown throttle mode {mechanism.throttle!r}")
+        raise ConfigError(f"unknown throttle mode {mechanism.throttle!r}")
     return core
 
 
@@ -214,7 +310,7 @@ def run_benchmark(
     core = build_core(mech, config, instance, dram, hint_filter)
     result = core.run(instance.trace())
     if use_cache:
-        _RESULT_CACHE[key] = result
+        _RESULT_CACHE.put(key, result)
     return result
 
 

@@ -4,6 +4,16 @@ Each figure's bench file composes these: run a mechanism sweep over the
 pointer-intensive set (memoized across figures, since e.g. the baseline and
 ecdp+throttle runs appear in Figures 7, 8, 9, 11, 12 and 13), then reduce
 to the paper's reported rows.
+
+Two execution paths:
+
+* the default in-process path (memoized inside the runner) — what the
+  bench harness uses;
+* pass an :class:`~repro.experiments.engine.ExecutionEngine` to run the
+  matrix crash-isolated with timeouts, retries, and checkpoint-resume.
+  Failed cells come back as :class:`FailedResult` placeholders, and every
+  reduction below degrades gracefully — figures render with explicit
+  ``FAILED(reason)`` cells instead of crashing the whole report.
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.stats import CoreResult
+from repro.experiments.engine import FailedResult, Job, is_failed
 from repro.experiments.metrics import (
     bpki_delta_percent,
     gmean_speedup,
@@ -29,39 +40,101 @@ def sweep(
     mechanisms: Sequence[str],
     benchmarks: Optional[Sequence[str]] = None,
     config: Optional[SystemConfig] = None,
+    engine=None,
+    resume: bool = False,
+    input_set: str = "ref",
 ) -> Dict[str, Dict[str, CoreResult]]:
-    """Run every (mechanism, benchmark) pair; memoized inside the runner."""
+    """Run every (mechanism, benchmark) pair.
+
+    Without *engine*: in-process and memoized inside the runner; any
+    failure raises, as before.  With an
+    :class:`~repro.experiments.engine.ExecutionEngine`: crash-isolated
+    parallel execution, and failed cells are
+    :class:`~repro.experiments.engine.FailedResult` placeholders.
+    """
     config = config or SystemConfig.scaled()
     benchmarks = list(benchmarks or pointer_intensive_names())
-    return {
-        mechanism: {
-            benchmark: run_benchmark(benchmark, mechanism, config)
-            for benchmark in benchmarks
+    if engine is None:
+        return {
+            mechanism: {
+                benchmark: run_benchmark(
+                    benchmark, mechanism, config, input_set=input_set
+                )
+                for benchmark in benchmarks
+            }
+            for mechanism in mechanisms
         }
+    jobs = [
+        Job(benchmark, mechanism, config, input_set=input_set)
         for mechanism in mechanisms
-    }
+        for benchmark in benchmarks
+    ]
+    cells = engine.run(jobs, resume=resume).by_cell()
+    table: Dict[str, Dict[str, CoreResult]] = {}
+    for mechanism in mechanisms:
+        row = {}
+        for benchmark in benchmarks:
+            outcome = cells[(benchmark, mechanism)]
+            row[benchmark] = (
+                outcome.result if outcome.ok else FailedResult(outcome.failure)
+            )
+        table[mechanism] = row
+    return table
 
 
 def delta_rows(
     results: Dict[str, CoreResult],
     baselines: Dict[str, CoreResult],
-) -> List[Tuple[str, float, float]]:
-    """(benchmark, IPC delta %, BPKI delta %) rows in benchmark order."""
-    return [
-        (
-            name,
-            ipc_delta_percent(results[name], baselines[name]),
-            bpki_delta_percent(results[name], baselines[name]),
-        )
+) -> List[Tuple[str, object, object]]:
+    """(benchmark, IPC delta %, BPKI delta %) rows in benchmark order.
+
+    A failed run (or failed baseline) yields its ``FailedResult`` in both
+    delta columns, which reporting renders as ``FAILED(reason)``.
+    """
+    rows: List[Tuple[str, object, object]] = []
+    for name in results:
+        result = results[name]
+        baseline = baselines.get(name)
+        if is_failed(result) or is_failed(baseline):
+            marker = result if is_failed(result) else baseline
+            rows.append((name, marker, marker))
+        else:
+            rows.append(
+                (
+                    name,
+                    ipc_delta_percent(result, baseline),
+                    bpki_delta_percent(result, baseline),
+                )
+            )
+    return rows
+
+
+def _ok_pairs(
+    results: Dict[str, CoreResult],
+    baselines: Dict[str, CoreResult],
+) -> Tuple[Dict[str, CoreResult], Dict[str, CoreResult]]:
+    """Restrict both maps to benchmarks where both runs succeeded."""
+    names = [
+        name
         for name in results
+        if not is_failed(results[name]) and not is_failed(baselines.get(name))
     ]
+    return (
+        {name: results[name] for name in names},
+        {name: baselines[name] for name in names},
+    )
 
 
 def summary_line(
     results: Dict[str, CoreResult],
     baselines: Dict[str, CoreResult],
 ) -> Dict[str, float]:
-    """The paper's four headline aggregates (with / without health)."""
+    """The paper's four headline aggregates (with / without health).
+
+    Failed benchmarks are excluded from the aggregates (the per-benchmark
+    rows still show them as FAILED cells).
+    """
+    results, baselines = _ok_pairs(results, baselines)
     return {
         "gmean_ipc_pct": (gmean_speedup(results, baselines) - 1.0) * 100.0,
         "gmean_ipc_pct_no_health": (
@@ -78,36 +151,30 @@ def summary_line(
 def accuracy_rows(
     per_mechanism: Dict[str, Dict[str, CoreResult]],
     owner: str,
-) -> List[Tuple[str, List[float]]]:
+) -> List[Tuple[str, List[object]]]:
     """Per-benchmark accuracy of prefetcher *owner* under each mechanism."""
-    mechanisms = list(per_mechanism)
-    benchmarks = list(next(iter(per_mechanism.values())))
-    return [
-        (
-            benchmark,
-            [
-                per_mechanism[mechanism][benchmark].accuracy(owner)
-                for mechanism in mechanisms
-            ],
-        )
-        for benchmark in benchmarks
-    ]
+    return _stat_rows(per_mechanism, owner, "accuracy")
 
 
 def coverage_rows(
     per_mechanism: Dict[str, Dict[str, CoreResult]],
     owner: str,
-) -> List[Tuple[str, List[float]]]:
+) -> List[Tuple[str, List[object]]]:
     """Per-benchmark coverage of prefetcher *owner* under each mechanism."""
+    return _stat_rows(per_mechanism, owner, "coverage")
+
+
+def _stat_rows(per_mechanism, owner: str, stat: str):
     mechanisms = list(per_mechanism)
     benchmarks = list(next(iter(per_mechanism.values())))
-    return [
-        (
-            benchmark,
-            [
-                per_mechanism[mechanism][benchmark].coverage(owner)
-                for mechanism in mechanisms
-            ],
-        )
-        for benchmark in benchmarks
-    ]
+    rows = []
+    for benchmark in benchmarks:
+        cells = []
+        for mechanism in mechanisms:
+            result = per_mechanism[mechanism][benchmark]
+            if is_failed(result):
+                cells.append(result)
+            else:
+                cells.append(getattr(result, stat)(owner))
+        rows.append((benchmark, cells))
+    return rows

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Type
 
+from repro.errors import UnknownNameError
 from repro.workloads.base import Workload
 from repro.workloads.olden import Bisort, Health, Mst, Perimeter, Voronoi
 from repro.workloads.olden_extra import BarnesHut, Em3d, Treeadd
@@ -84,7 +85,7 @@ def get_workload(name: str) -> Workload:
     try:
         return REGISTRY[name]()
     except KeyError:
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown workload {name!r}; known: {sorted(REGISTRY)}"
         ) from None
 

@@ -1,0 +1,127 @@
+"""CLI robustness: sweep flags, exit codes, one-line errors, resume."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+SWEEP_ARGS = [
+    "sweep", "--benchmarks", "mst", "--mechanisms", "cdp",
+    "--input-set", "test",
+]
+
+
+class TestParser:
+    def test_new_sweep_flags_parse(self):
+        args = build_parser().parse_args(
+            SWEEP_ARGS
+            + ["--jobs", "4", "--timeout", "30", "--retries", "1", "--resume"]
+        )
+        assert args.jobs == 4
+        assert args.timeout == 30.0
+        assert args.retries == 1
+        assert args.resume
+
+    def test_smoke_flag_parses(self):
+        assert build_parser().parse_args(["sweep", "--smoke"]).smoke
+
+
+class TestExitCodes:
+    def test_successful_sweep_exits_zero(self, workdir, capsys):
+        assert main(SWEEP_ARGS) == 0
+        assert "gmean" in capsys.readouterr().out
+
+    def test_partial_failure_exits_one_and_reports_reasons(
+        self, workdir, capsys
+    ):
+        # an unmeetable per-job timeout makes every job fail (recorded,
+        # not raised) — the sweep still completes and renders the table.
+        # Cold caches matter: forked workers inherit the parent's memoized
+        # results, which would let a warm job finish before the deadline.
+        from repro.experiments.runner import clear_caches
+
+        clear_caches()
+        code = main(SWEEP_ARGS + ["--timeout", "0.001", "--retries", "0"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAILED" in captured.out  # table cells degrade
+        assert "JobTimeoutError" in captured.err  # reasons on stderr
+        assert "Traceback" not in captured.err
+
+    def test_unknown_benchmark_exits_two_without_traceback(
+        self, workdir, capsys
+    ):
+        assert main(["sweep", "--benchmarks", "nope"]) == 2
+        captured = capsys.readouterr()
+        assert "error: unknown workload 'nope'" in captured.err
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize(
+        "flag, value",
+        [("--jobs", "0"), ("--retries", "-1"), ("--timeout", "-5")],
+    )
+    def test_invalid_sweep_options_exit_two(self, workdir, capsys, flag, value):
+        assert main(SWEEP_ARGS + [flag, value]) == 2
+        captured = capsys.readouterr()
+        assert "invalid sweep options" in captured.err
+        assert flag in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_mechanism_exits_two(self, workdir, capsys):
+        assert main(SWEEP_ARGS[:1] + ["--mechanisms", "warp-drive"]) == 2
+        assert "warp-drive" in capsys.readouterr().err
+
+    def test_debug_flag_raises_instead_of_swallowing(self, workdir):
+        with pytest.raises(KeyError):
+            main(["run", "nope", "baseline", "--debug"])
+
+
+class TestCheckpointResume:
+    def test_journal_written_and_resume_skips_completed(
+        self, workdir, capsys
+    ):
+        assert main(SWEEP_ARGS) == 0
+        journals = list((workdir / ".repro-checkpoints").glob("*.jsonl"))
+        assert len(journals) == 1
+        capsys.readouterr()
+
+        assert main(SWEEP_ARGS + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "2 resumed" in captured.out
+
+    def test_fresh_run_clears_stale_journal(self, workdir, capsys):
+        assert main(SWEEP_ARGS) == 0
+        capsys.readouterr()
+        # without --resume the journal restarts: nothing is resumed
+        assert main(SWEEP_ARGS) == 0
+        assert "0 resumed" in capsys.readouterr().out
+
+    def test_custom_sweep_name_and_dir(self, workdir, capsys):
+        assert (
+            main(
+                SWEEP_ARGS
+                + ["--sweep-name", "mysweep", "--checkpoint-dir", "cp"]
+            )
+            == 0
+        )
+        assert (workdir / "cp" / "mysweep.jsonl").exists()
+
+
+class TestParallelSweep:
+    def test_parallel_jobs_produce_same_table(self, workdir, capsys):
+        assert main(SWEEP_ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main(SWEEP_ARGS + ["--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        # determinism survives process isolation (same table modulo the
+        # checkpoint-path line)
+        strip = lambda text: [
+            line for line in text.splitlines() if "sweep:" not in line
+        ]
+        assert strip(serial) == strip(parallel)

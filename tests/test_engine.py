@@ -1,0 +1,264 @@
+"""Execution engine tests: crash isolation, timeouts, retries, resume.
+
+The fake workers below run in real child processes (the engine's crash
+barrier is the thing under test), so they are module-level functions and
+record every execution as a marker file in a directory passed through the
+environment — that is how the tests assert *job-execution counts* across
+process boundaries.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    JobTimeoutError,
+    ReproError,
+    TraceFormatError,
+    TransientError,
+    UnknownNameError,
+    WorkerCrashError,
+    is_transient,
+)
+from repro.experiments.engine import (
+    CheckpointJournal,
+    ExecutionEngine,
+    FailedResult,
+    Job,
+    JobFailure,
+    RetryPolicy,
+    is_failed,
+    snapshot_metrics,
+)
+
+MARKER_ENV = "REPRO_TEST_MARKER_DIR"
+
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05)
+
+
+def _mark(job):
+    """Record one execution of *job* (works across processes)."""
+    directory = os.environ[MARKER_ENV]
+    handle, _ = tempfile.mkstemp(
+        prefix=f"{job.benchmark}.", suffix=".mark", dir=directory
+    )
+    os.close(handle)
+
+
+def _executions(benchmark):
+    directory = os.environ[MARKER_ENV]
+    return len(
+        [n for n in os.listdir(directory) if n.startswith(f"{benchmark}.")]
+    )
+
+
+def fake_worker(job):
+    _mark(job)
+    if job.benchmark == "hang":
+        time.sleep(60)
+    if job.benchmark == "crash":
+        raise RuntimeError("simulated simulation bug")
+    if job.benchmark == "die":
+        os._exit(17)
+    if job.benchmark == "flaky" and _executions("flaky") < 2:
+        raise TransientError("transient glitch")
+    return {"ipc": 1.0 + len(job.benchmark) / 10, "bpki": 2.0}
+
+
+def unpicklable_worker(job):
+    return lambda: None  # cannot cross the process boundary
+
+
+@pytest.fixture
+def marker_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "markers"
+    directory.mkdir()
+    monkeypatch.setenv(MARKER_ENV, str(directory))
+    return directory
+
+
+def make_engine(tmp_path, **overrides):
+    settings = dict(
+        jobs=4,
+        timeout=1.0,
+        retry=FAST_RETRY,
+        checkpoint=CheckpointJournal(tmp_path / "sweep.jsonl"),
+        worker=fake_worker,
+    )
+    settings.update(overrides)
+    return ExecutionEngine(**settings)
+
+
+class TestSweepResilience:
+    """The acceptance scenario: >= 8 jobs, one hangs, one raises."""
+
+    BENCHMARKS = ["b1", "b2", "b3", "b4", "b5", "b6", "hang", "crash"]
+
+    def test_hang_and_crash_do_not_kill_sweep_and_resume_is_minimal(
+        self, tmp_path, marker_dir
+    ):
+        engine = make_engine(tmp_path)
+        jobs = [Job(name, "mech") for name in self.BENCHMARKS]
+        report = engine.run(jobs)
+
+        assert report.exit_code == 1
+        assert len(report.ok) == 6
+        failed = {r.job.benchmark: r for r in report.failures}
+        assert set(failed) == {"hang", "crash"}
+        # failures carry actionable reasons
+        assert "timed out" in failed["hang"].failure.reason
+        assert "simulated simulation bug" in failed["crash"].failure.reason
+        # the timeout is transient -> retried to the budget (2 attempts);
+        # the RuntimeError is permanent -> failed fast on attempt 1
+        assert failed["hang"].attempts == 2
+        assert _executions("hang") == 2
+        assert failed["crash"].attempts == 1
+        assert _executions("crash") == 1
+        for name in ("b1", "b2", "b3", "b4", "b5", "b6"):
+            assert _executions(name) == 1
+
+        # resume: completed jobs replay from the journal, only the two
+        # failed jobs execute again
+        resumed_report = engine.run(jobs, resume=True)
+        assert resumed_report.exit_code == 1
+        assert len(resumed_report.resumed) == 6
+        for name in ("b1", "b2", "b3", "b4", "b5", "b6"):
+            assert _executions(name) == 1  # NOT re-run
+        assert _executions("hang") == 4  # 2 more attempts
+        assert _executions("crash") == 2  # 1 more attempt
+
+    def test_resumed_results_expose_metrics(self, tmp_path, marker_dir):
+        engine = make_engine(tmp_path)
+        jobs = [Job("b1", "mech")]
+        first = engine.run(jobs)
+        assert first.ok[0].result["ipc"] == pytest.approx(1.2)
+        second = engine.run(jobs, resume=True)
+        snapshot = second.resumed[0].result
+        assert snapshot.ipc == pytest.approx(1.2)
+        assert snapshot.bpki == pytest.approx(2.0)
+
+
+class TestFailureShapes:
+    def test_worker_hard_death_is_isolated_and_retried(
+        self, tmp_path, marker_dir
+    ):
+        engine = make_engine(tmp_path, timeout=None)
+        report = engine.run([Job("die", "mech"), Job("ok", "mech")])
+        assert len(report.ok) == 1
+        (failure,) = report.failures
+        assert failure.failure.error_type == "WorkerCrashError"
+        assert failure.failure.transient
+        assert failure.attempts == 2  # worker loss is transient
+
+    def test_transient_failure_retried_to_success(
+        self, tmp_path, marker_dir
+    ):
+        engine = make_engine(tmp_path, jobs=1, timeout=None)
+        report = engine.run([Job("flaky", "mech")])
+        assert report.exit_code == 0
+        assert report.ok[0].attempts == 2
+        assert _executions("flaky") == 2
+
+    def test_unpicklable_result_degrades_to_failure(self, tmp_path):
+        engine = make_engine(
+            tmp_path, worker=unpicklable_worker, checkpoint=None
+        )
+        report = engine.run([Job("x", "mech")])
+        (failure,) = report.failures
+        assert "not transferable" in failure.failure.message
+
+    def test_duplicate_jobs_run_once(self, tmp_path, marker_dir):
+        engine = make_engine(tmp_path, checkpoint=None, timeout=None)
+        report = engine.run([Job("b1", "mech"), Job("b1", "mech")])
+        assert len(report.order) == 1
+        assert _executions("b1") == 1
+
+
+class TestCheckpointJournal:
+    def test_corrupt_trailing_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        good = json.dumps(
+            {"key": "abc", "status": "ok", "metrics": {"ipc": 1.0}}
+        )
+        path.write_text(good + "\n" + '{"key": "def", "sta')  # killed mid-write
+        journal = CheckpointJournal(path)
+        with pytest.warns(UserWarning, match="corrupt"):
+            records = journal.load()
+        assert set(records) == {"abc"}
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        assert CheckpointJournal(tmp_path / "nope.jsonl").load() == {}
+
+    def test_for_sweep_sanitizes_name(self, tmp_path):
+        journal = CheckpointJournal.for_sweep("fig 7 / headline", tmp_path)
+        assert journal.path.parent == tmp_path
+        assert journal.path.name == "fig_7_headline.jsonl"
+
+
+class TestJobIdentity:
+    def test_key_is_deterministic(self):
+        assert Job("mst", "cdp").key() == Job("mst", "cdp").key()
+
+    def test_key_depends_on_config(self):
+        from repro.core.config import SystemConfig
+
+        scaled = Job("mst", "cdp", SystemConfig.scaled())
+        paper = Job("mst", "cdp", SystemConfig.paper())
+        assert scaled.key() != paper.key()
+
+    def test_key_depends_on_input_set(self):
+        assert (
+            Job("mst", "cdp", input_set="ref").key()
+            != Job("mst", "cdp", input_set="test").key()
+        )
+
+
+class TestErrorTaxonomy:
+    def test_hierarchy(self):
+        for error_type in (
+            ConfigError,
+            JobTimeoutError,
+            TraceFormatError,
+            TransientError,
+            UnknownNameError,
+            WorkerCrashError,
+        ):
+            assert issubclass(error_type, ReproError)
+        assert issubclass(UnknownNameError, KeyError)
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_exit_codes(self):
+        assert ConfigError("x").exit_code == 2
+        assert UnknownNameError("x").exit_code == 2
+        assert JobTimeoutError("x").exit_code == 1
+
+    def test_transient_classification(self):
+        assert is_transient(JobTimeoutError("t"))
+        assert is_transient(WorkerCrashError("c"))
+        assert is_transient(OSError("disk glitch"))
+        assert is_transient(TransientError("flaky"))
+        assert not is_transient(ConfigError("bad"))
+        assert not is_transient(TraceFormatError("corrupt"))
+        assert not is_transient(ValueError("logic bug"))
+
+    def test_unknown_name_str_is_plain(self):
+        assert str(UnknownNameError("unknown workload 'x'")).startswith(
+            "unknown"
+        )
+
+
+class TestFailedResult:
+    def test_renders_as_failed_cell(self):
+        failed = FailedResult(JobFailure("JobTimeoutError", "timed out", True))
+        assert str(failed) == "FAILED(JobTimeoutError)"
+        assert is_failed(failed)
+        assert is_failed(None)
+        assert not is_failed(object())
+
+    def test_snapshot_metrics_filters_json_safe(self):
+        metrics = snapshot_metrics({"ipc": 1.0, "junk": object()})
+        assert metrics == {"ipc": 1.0}
