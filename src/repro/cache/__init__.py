@@ -2,11 +2,16 @@
 
 from repro.cache.block import CacheBlock
 from repro.cache.mshr import MshrEntry, MshrFile
-from repro.cache.set_assoc import CacheStats, SetAssociativeCache
+from repro.cache.set_assoc import (
+    CacheStats,
+    FlatSetAssociativeCache,
+    SetAssociativeCache,
+)
 
 __all__ = [
     "CacheBlock",
     "CacheStats",
+    "FlatSetAssociativeCache",
     "MshrEntry",
     "MshrFile",
     "SetAssociativeCache",

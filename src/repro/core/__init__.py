@@ -3,6 +3,7 @@ and multi-core composition."""
 
 from repro.core.config import SystemConfig
 from repro.core.cpu import Core
+from repro.core.fastcpu import FastCore
 from repro.core.instruction import (
     MemOp,
     PcAllocator,
@@ -15,6 +16,7 @@ from repro.core.system import MultiCoreSystem
 __all__ = [
     "Core",
     "CoreResult",
+    "FastCore",
     "MemOp",
     "MultiCoreSystem",
     "PcAllocator",

@@ -40,9 +40,23 @@ _POSITIVE_FIELDS = (
 )
 
 
+#: valid simulation engines: the readable object-per-block reference model
+#: and the flat array-backed fast kernel (see DESIGN.md, "Engine internals
+#: & performance").  Both produce bit-identical results, enforced by
+#: tests/differential/.
+ENGINES = ("reference", "fast")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Every knob of the simulated machine."""
+
+    # -- engine ---------------------------------------------------------------
+    #: which core/cache implementation executes the trace.  "reference" is
+    #: the original object-per-access model; "fast" is the flat-array
+    #: kernel.  The two are behavior-identical (differential-tested), so
+    #: this knob trades readability for speed, never results.
+    engine: str = "reference"
 
     # -- core ---------------------------------------------------------------
     issue_width: int = 4  # decode/retire up to 4 instructions (Table 5)
@@ -131,6 +145,10 @@ class SystemConfig:
         call sites can chain: ``config.validate()``.
         """
         problems: Dict[str, str] = {}
+        if self.engine not in ENGINES:
+            problems["engine"] = (
+                f"must be one of {ENGINES} (got {self.engine!r})"
+            )
         for name in _POSITIVE_FIELDS:
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool):

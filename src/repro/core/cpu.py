@@ -72,12 +72,8 @@ class Core:
         #: optional informing-load profiling hook (compiler.informing)
         self.pg_observer = None
 
-        self.l1 = SetAssociativeCache(
-            config.l1_size, config.l1_ways, config.block_size, f"{name}-l1"
-        )
-        self.l2 = SetAssociativeCache(
-            config.l2_size, config.l2_ways, config.block_size, f"{name}-l2"
-        )
+        self.l1 = self._make_cache(config.l1_size, config.l1_ways, f"{name}-l1")
+        self.l2 = self._make_cache(config.l2_size, config.l2_ways, f"{name}-l2")
         self.pf_queue = PrefetchQueue(config.prefetch_queue_size)
 
         trained: List[Prefetcher] = []
@@ -105,6 +101,12 @@ class Core:
         self._load_seq = 0
         self._completions: Dict[int, float] = {}
         self._completion_prune_at = 8192
+
+    def _make_cache(self, size_bytes: int, ways: int, name: str):
+        """Cache factory hook; the fast engine substitutes its flat cache."""
+        return SetAssociativeCache(
+            size_bytes, ways, self.config.block_size, name
+        )
 
     # -- public driving interface ---------------------------------------------
 

@@ -63,6 +63,8 @@ class DramController:
         self.request_buffer_size = request_buffer_size
         self._in_flight: List[float] = []  # min-heap of completion times
         self.stats = DramStats()
+        #: bus occupancy of one block transfer (constant per configuration)
+        self._block_transfer_cycles = bus.transfer_cycles(block_size)
 
     # -- request buffer ----------------------------------------------------
 
@@ -114,6 +116,54 @@ class DramController:
             self.stats.total_demand_latency += completion - now
         else:
             self.stats.prefetch_requests += 1
+        return completion
+
+    def demand_access_fast(self, now: float, block_addr: int) -> float:
+        """Flattened ``access(now, block_addr, is_demand=True)``.
+
+        Exactly the same request-buffer wait, bank service, and
+        demand-priority bus transfer as the composed path — one call and
+        no intermediate objects, for the fast engine's miss path.  Any
+        behavioral divergence from :meth:`access` is a bug caught by
+        tests/differential/.
+        """
+        stats = self.stats
+        heap = self._in_flight
+        buffer_size = self.request_buffer_size
+        # request buffer (== _wait_for_slot)
+        start = now
+        while True:
+            while heap and heap[0] <= start:
+                heapq.heappop(heap)
+            if len(heap) < buffer_size:
+                break
+            stats.buffer_full_stalls += 1
+            start = heap[0]
+        ready = start + self.controller_overhead
+        # bank service (== BankArray.service)
+        banks = self.banks
+        busy_until = banks._busy_until
+        bank = (block_addr // self.block_size) % banks.n_banks
+        bank_start = busy_until[bank]
+        if bank_start > ready:
+            banks.conflicts += 1
+        else:
+            bank_start = ready
+        bank_done = bank_start + banks.occupancy_cycles
+        busy_until[bank] = bank_done
+        # demand-priority bus transfer (== MemoryBus.transfer)
+        bus = self.bus
+        transfer_start = bus._demand_busy_until
+        if transfer_start < bank_done:
+            transfer_start = bank_done
+        completion = transfer_start + self._block_transfer_cycles
+        bus._demand_busy_until = completion
+        if bus._any_busy_until < completion:
+            bus._any_busy_until = completion
+        bus.transfers += 1
+        heapq.heappush(heap, completion)
+        stats.demand_requests += 1
+        stats.total_demand_latency += completion - now
         return completion
 
     def writeback(self, now: float, block_addr: int) -> float:

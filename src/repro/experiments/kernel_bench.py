@@ -1,0 +1,130 @@
+"""Kernel microbenchmark worker: fast engine vs reference engine.
+
+One job cell = one (workload, mechanism, input set).  The worker runs the
+cell under *both* engines in the same process — pre-materializing the
+trace so only :meth:`Core.run` is timed — and returns JSON-safe metrics
+(ops/sec per engine, speedup, and whether the two engines produced
+bit-identical :class:`~repro.core.stats.CoreResult`\\ s).  Because the
+return value is a plain dict, the sweep engine's checkpoint journal can
+snapshot it unchanged, which gives the microbenchmark checkpoint-resume
+for free.
+
+Lives in the library (not under ``benchmarks/``) because sweep-engine
+workers must be importable by qualified name from child processes.
+
+Two environment knobs let CI pin the run to a budget without changing
+the job matrix (child processes inherit them through the pool):
+
+* ``REPRO_KERNEL_OPS`` — truncate every trace to at most N ops;
+* ``REPRO_KERNEL_REPEATS`` — timed repetitions per engine (best-of).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.stats import CoreResult
+from repro.experiments.configs import get_mechanism
+from repro.experiments.engine.job import Job
+from repro.experiments.runner import build_core, hint_filter_for, make_dram
+from repro.workloads.registry import get_workload
+
+OPS_ENV = "REPRO_KERNEL_OPS"
+REPEATS_ENV = "REPRO_KERNEL_REPEATS"
+
+#: default timed repetitions per engine (best-of, to shed scheduler noise)
+DEFAULT_REPEATS = 3
+
+
+def op_budget() -> Optional[int]:
+    """Trace truncation from the environment; None = full trace."""
+    try:
+        value = int(os.environ.get(OPS_ENV, "0"))
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def repeats() -> int:
+    try:
+        value = int(os.environ.get(REPEATS_ENV, str(DEFAULT_REPEATS)))
+    except ValueError:
+        return DEFAULT_REPEATS
+    return max(1, value)
+
+
+def time_engine(
+    engine: str,
+    benchmark: str,
+    mechanism: str,
+    config: SystemConfig,
+    input_set: str = "train",
+    profile_input: str = "train",
+    budget: Optional[int] = None,
+    rounds: int = DEFAULT_REPEATS,
+) -> Tuple[int, float, CoreResult]:
+    """(ops, best seconds, final CoreResult) for one engine on one cell.
+
+    The workload instance (and therefore the trace and simulated memory
+    contents) is rebuilt per round — workload generation is
+    deterministic, so every round and both engines see identical input.
+    """
+    mech = get_mechanism(mechanism)
+    cfg = config.with_overrides(engine=engine)
+    hint_filter = hint_filter_for(mech, benchmark, cfg, profile_input)
+    best = float("inf")
+    result: Optional[CoreResult] = None
+    n_ops = 0
+    for __ in range(max(1, rounds)):
+        instance = get_workload(benchmark).build(input_set)
+        ops = list(instance.trace())
+        if budget is not None:
+            ops = ops[:budget]
+        dram = make_dram(cfg, n_cores=1)
+        core = build_core(mech, cfg, instance, dram, hint_filter)
+        start = time.perf_counter()
+        result = core.run(ops)
+        elapsed = time.perf_counter() - start
+        n_ops = len(ops)
+        if elapsed < best:
+            best = elapsed
+    return n_ops, max(best, 1e-9), result
+
+
+def kernel_bench_worker(job: Job) -> Dict[str, Any]:
+    """Sweep-engine worker: measure both engines on *job*'s cell."""
+    budget = op_budget()
+    rounds = repeats()
+    n_ops, ref_seconds, ref_result = time_engine(
+        "reference",
+        job.benchmark,
+        job.mechanism,
+        job.config,
+        input_set=job.input_set,
+        profile_input=job.profile_input,
+        budget=budget,
+        rounds=rounds,
+    )
+    __, fast_seconds, fast_result = time_engine(
+        "fast",
+        job.benchmark,
+        job.mechanism,
+        job.config,
+        input_set=job.input_set,
+        profile_input=job.profile_input,
+        budget=budget,
+        rounds=rounds,
+    )
+    return {
+        "ops": n_ops,
+        "repeats": rounds,
+        "reference_seconds": ref_seconds,
+        "fast_seconds": fast_seconds,
+        "reference_ops_per_sec": n_ops / ref_seconds,
+        "fast_ops_per_sec": n_ops / fast_seconds,
+        "speedup": ref_seconds / fast_seconds,
+        "identical": ref_result == fast_result,
+    }

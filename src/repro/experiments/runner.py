@@ -19,8 +19,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.compiler.hints import CoarseLoadFilter, HintTable
 from repro.errors import ConfigError
 from repro.compiler.profiler import ProfilerConfig, profile_trace
-from repro.core.config import SystemConfig
+from repro.core.config import ENGINES, SystemConfig
 from repro.core.cpu import Core
+from repro.core.fastcpu import FastCore
 from repro.core.stats import CoreResult
 from repro.core.system import MultiCoreSystem
 from repro.dram.bus import MemoryBus
@@ -201,6 +202,20 @@ def make_dram(config: SystemConfig, n_cores: int = 1) -> DramController:
     )
 
 
+#: engine name -> core implementation (both paths stay importable)
+ENGINE_CLASSES = {"reference": Core, "fast": FastCore}
+
+
+def core_class_for(config: SystemConfig):
+    """The Core implementation selected by ``config.engine``."""
+    try:
+        return ENGINE_CLASSES[config.engine]
+    except KeyError:
+        raise ConfigError(
+            f"unknown engine {config.engine!r}; choose from {ENGINES}"
+        ) from None
+
+
 def build_core(
     mechanism: Mechanism,
     config: SystemConfig,
@@ -210,6 +225,7 @@ def build_core(
     name: str = "core0",
 ) -> Core:
     """Wire up one core with the mechanism's prefetchers and controller."""
+    core_cls = core_class_for(config)
     stream = (
         StreamPrefetcher(config.block_size, config.stream_count)
         if mechanism.stream
@@ -256,7 +272,7 @@ def build_core(
     if mechanism.throttle == "gendler":
         gendler = GendlerSelector(throttled)
 
-    core = Core(
+    core = core_cls(
         config,
         instance.memory,
         dram,

@@ -9,26 +9,38 @@ are the two knobs coordinated throttling turns (paper Table 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.memory.address import block_address
 from repro.prefetch.base import Prefetcher, PrefetchRequest
 
 #: (distance, degree) per aggressiveness level — paper Table 2.
 STREAM_LEVELS: Tuple[Tuple[int, int], ...] = ((4, 1), (8, 1), (16, 2), (32, 4))
 
 
-@dataclass
 class _Stream:
-    """One tracked stream."""
+    """One tracked stream.
 
-    # All fields in units of block numbers (addr // block_size).
-    last_demand: int  # most recent demand block seen by this stream
-    direction: int = 0  # +1 / -1 once trained, 0 while training
-    next_prefetch: int = 0  # first block not yet prefetched
-    trained: bool = False
-    lru_tick: int = 0
+    A plain ``__slots__`` class rather than a dataclass: stream lookup
+    runs once per demand access over up to ``n_streams`` entries, so
+    attribute-access cost here is the prefetcher's hot path.
+    """
+
+    __slots__ = ("last_demand", "direction", "next_prefetch", "trained", "lru_tick")
+
+    def __init__(
+        self,
+        last_demand: int,  # most recent demand block seen by this stream
+        direction: int = 0,  # +1 / -1 once trained, 0 while training
+        next_prefetch: int = 0,  # first block not yet prefetched
+        trained: bool = False,
+        lru_tick: int = 0,
+    ) -> None:
+        # All fields in units of block numbers (addr // block_size).
+        self.last_demand = last_demand
+        self.direction = direction
+        self.next_prefetch = next_prefetch
+        self.trained = trained
+        self.lru_tick = lru_tick
 
 
 class StreamPrefetcher(Prefetcher):
@@ -59,49 +71,61 @@ class StreamPrefetcher(Prefetcher):
 
     def _find_stream(self, block: int) -> Optional[_Stream]:
         """The stream whose monitoring window covers *block*, if any."""
-        best = None
+        # ``distance``/``train_window`` hoisted to locals: this loop runs
+        # once per demand access over every tracked stream.
+        distance = STREAM_LEVELS[self._level][0]
+        train_window = self.train_window
         for stream in self._streams:
             if stream.trained:
                 ahead = (block - stream.last_demand) * stream.direction
-                if 0 <= ahead <= self.distance:
-                    best = stream
-                    break
-            else:
-                if abs(block - stream.last_demand) <= self.train_window:
-                    best = stream
-                    break
-        return best
+                if 0 <= ahead <= distance:
+                    return stream
+            elif -train_window <= block - stream.last_demand <= train_window:
+                return stream
+        return None
 
     def _allocate(self, block: int) -> _Stream:
         stream = _Stream(last_demand=block, next_prefetch=block + 1)
-        if len(self._streams) >= self.n_streams:
-            # Evict the least recently advanced stream.
-            victim = min(self._streams, key=lambda s: s.lru_tick)
-            self._streams.remove(victim)
-        self._streams.append(stream)
+        streams = self._streams
+        if len(streams) >= self.n_streams:
+            # Evict the least recently advanced stream (first minimum,
+            # matching min()-then-remove(), without the equality rescan).
+            victim_index = 0
+            victim_tick = streams[0].lru_tick
+            for index in range(1, len(streams)):
+                tick = streams[index].lru_tick
+                if tick < victim_tick:
+                    victim_index = index
+                    victim_tick = tick
+            del streams[victim_index]
+        streams.append(stream)
         return stream
 
     def _emit(self, stream: _Stream, block: int) -> List[PrefetchRequest]:
         """Advance *stream* to demand *block* and emit up to degree blocks."""
         stream.last_demand = block
         stream.lru_tick = self._tick
-        frontier = block + self.distance * stream.direction
+        distance, degree = STREAM_LEVELS[self._level]
+        direction = stream.direction
+        block_size = self.block_size
+        name = self.name
+        frontier = block + distance * direction
         requests: List[PrefetchRequest] = []
-        for __ in range(self.degree):
-            candidate = stream.next_prefetch
-            ahead = (candidate - block) * stream.direction
-            if ahead < 0:
+        next_prefetch = stream.next_prefetch
+        for __ in range(degree):
+            candidate = next_prefetch
+            if (candidate - block) * direction < 0:
                 # Demand stream jumped past our pointer; snap forward.
-                candidate = block + stream.direction
-                stream.next_prefetch = candidate
-                ahead = 1
-            if (frontier - candidate) * stream.direction < 0:
+                candidate = block + direction
+                next_prefetch = candidate
+            if (frontier - candidate) * direction < 0:
                 break  # would exceed the allowed distance
             if candidate >= 0:
                 requests.append(
-                    PrefetchRequest(candidate * self.block_size, self.name)
+                    PrefetchRequest(candidate * block_size, name)
                 )
-            stream.next_prefetch = candidate + stream.direction
+            next_prefetch = candidate + direction
+        stream.next_prefetch = next_prefetch
         return requests
 
     def on_demand_access(
@@ -109,7 +133,7 @@ class StreamPrefetcher(Prefetcher):
     ) -> List[PrefetchRequest]:
         """Train on L2 demand misses; advance streams on any demand access."""
         self._tick += 1
-        block = block_address(addr, self.block_size) // self.block_size
+        block = addr // self.block_size
         stream = self._find_stream(block)
         if stream is None:
             if not l2_hit:

@@ -7,6 +7,20 @@ from repro.memory.alloc import ArenaMap
 from repro.memory.backing import SimulatedMemory
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current model output",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def memory():
     return SimulatedMemory()

@@ -1,0 +1,2 @@
+"""Differential correctness: the fast engine must be bit-identical to
+the reference engine on every observable statistic."""

@@ -1,0 +1,101 @@
+"""Harness: run one evaluation cell under both engines, capture everything.
+
+A *snapshot* is every externally observable statistic of one simulation:
+the :class:`~repro.core.stats.CoreResult` (cycles, IPC inputs, per-
+prefetcher issue/useful/harmful/late counts), both caches' counters, the
+DRAM controller's counters, prefetch-queue drops, each throttled
+prefetcher's final aggressiveness level, and — when coordinated
+throttling is attached — the full interval-by-interval throttle
+trajectory (case, action, coverage, accuracy, rival coverage per
+decision).
+
+``compare_engines`` produces the reference and fast snapshots for one
+(workload, mechanism, input set) cell; the tests assert field-by-field
+equality.  Floats are compared *exactly*: the fast engine claims the
+same arithmetic in the same order, so any drift is a bug, not noise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.config import ENGINES, SystemConfig
+from repro.experiments.configs import get_mechanism
+from repro.experiments.runner import build_core, hint_filter_for, make_dram
+from repro.throttle.coordinated import CoordinatedThrottle
+from repro.workloads.registry import get_workload
+
+
+def capture(
+    benchmark: str,
+    mechanism: str,
+    config: SystemConfig,
+    input_set: str = "test",
+    profile_input: str = "train",
+) -> Dict[str, Any]:
+    """Run one cell under ``config.engine`` and snapshot every statistic."""
+    mech = get_mechanism(mechanism)
+    hint_filter = hint_filter_for(mech, benchmark, config, profile_input)
+    instance = get_workload(benchmark).build(input_set)
+    dram = make_dram(config, n_cores=1)
+    core = build_core(mech, config, instance, dram, hint_filter)
+    result = core.run(instance.trace())
+
+    trajectory = None
+    hook = core.feedback.on_interval
+    controller = getattr(hook, "__self__", None)
+    if isinstance(controller, CoordinatedThrottle):
+        trajectory = [
+            (
+                decision.owner,
+                decision.case,
+                decision.action,
+                decision.coverage,
+                decision.accuracy,
+                decision.rival_coverage,
+            )
+            for decision in controller.decisions
+        ]
+
+    return {
+        "result": result,
+        "l1": core.l1.stats,
+        "l2": core.l2.stats,
+        "dram": dram.stats,
+        "pf_dropped": core.pf_queue.dropped,
+        "bus_transfers": core.bus_transfers,
+        "levels": {p.name: p.level for p in core._trained_prefetchers},
+        "throttle": trajectory,
+    }
+
+
+def compare_engines(
+    benchmark: str,
+    mechanism: str,
+    input_set: str = "test",
+    config: Optional[SystemConfig] = None,
+    profile_input: str = "train",
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """(reference snapshot, fast snapshot) for one cell."""
+    base = config or SystemConfig.scaled()
+    snapshots = {
+        engine: capture(
+            benchmark,
+            mechanism,
+            base.with_overrides(engine=engine),
+            input_set=input_set,
+            profile_input=profile_input,
+        )
+        for engine in ENGINES
+    }
+    return snapshots["reference"], snapshots["fast"]
+
+
+def assert_identical(reference: Dict[str, Any], fast: Dict[str, Any]) -> None:
+    """Field-by-field equality with a readable failure per statistic."""
+    for key in reference:
+        assert fast[key] == reference[key], (
+            f"engines diverge on {key}:\n"
+            f"  reference: {reference[key]!r}\n"
+            f"  fast:      {fast[key]!r}"
+        )

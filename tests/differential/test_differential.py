@@ -1,0 +1,87 @@
+"""The differential matrix: fast engine == reference engine, exactly.
+
+Every cell of (workload x mechanism) runs under both engines on the
+``test`` input set and must produce identical CoreResults, cache / DRAM
+/ queue counters, final aggressiveness levels, and (where coordinated
+throttling is attached) identical interval-by-interval throttle
+trajectories.  Mechanisms are chosen to cover every fast-path branch:
+the raw kernel, stream training, CDP scans + recursive deferred scans,
+compiler hints, and all three throttling modes.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.runner import run_benchmark
+from tests.differential.harness import (
+    assert_identical,
+    capture,
+    compare_engines,
+)
+
+WORKLOADS = ["mst", "health", "libquantum"]
+
+#: prefetcher configuration x throttling mode coverage
+MECHANISMS = [
+    "no-prefetch",     # raw kernel, no observers
+    "baseline",        # stream prefetcher training + issue
+    "cdp",             # stream + greedy CDP (fills, recursion, owners)
+    "ecdp+throttle",   # hints + coordinated throttling (feedback hooks)
+    "ecdp+fdp",        # FDP throttling mode
+    "gendler",         # selector throttling mode
+]
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_engines_bit_identical(workload, mechanism):
+    reference, fast = compare_engines(workload, mechanism)
+    assert_identical(reference, fast)
+
+
+def test_throttle_trajectory_is_exercised_and_identical():
+    """Force several feedback intervals so trajectory equality is not
+    vacuous, then require the exact same decision sequence."""
+    config = SystemConfig.scaled().with_overrides(
+        l2_size=8192, interval_evictions=32
+    )
+    reference, fast = compare_engines(
+        "mst", "ecdp+throttle", config=config
+    )
+    assert reference["throttle"], "expected at least one throttle interval"
+    assert_identical(reference, fast)
+
+
+def test_oracle_and_hw_filter_paths_identical():
+    """Cover the oracle-LDS fast path and the hardware prefetch filter."""
+    for mechanism in ("oracle-lds", "hwfilter+throttle"):
+        reference, fast = compare_engines("mst", mechanism)
+        assert_identical(reference, fast)
+
+
+def test_run_benchmark_respects_engine_field():
+    """The public runner entry selects the engine from the config and
+    both engines agree through it (memoization keys must not mix)."""
+    results = {
+        engine: run_benchmark(
+            "mst",
+            "ecdp+throttle",
+            SystemConfig.scaled().with_overrides(engine=engine),
+            input_set="test",
+            use_cache=False,
+        )
+        for engine in ("reference", "fast")
+    }
+    assert results["reference"] == results["fast"]
+
+
+def test_capture_reports_nonzero_activity():
+    """Guard against a harness that compares empty snapshots."""
+    snapshot = capture(
+        "mst",
+        "baseline",
+        SystemConfig.scaled().with_overrides(engine="fast"),
+    )
+    assert snapshot["result"].retired_instructions > 0
+    assert snapshot["l2"].misses > 0
+    assert snapshot["levels"]  # the stream prefetcher is registered

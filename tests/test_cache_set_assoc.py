@@ -1,8 +1,10 @@
 """Unit tests for the set-associative cache: LRU, eviction, prefetch bits."""
 
+import random
+
 import pytest
 
-from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.set_assoc import FlatSetAssociativeCache, SetAssociativeCache
 
 
 def make_cache(size=1024, ways=2, block=64):
@@ -110,6 +112,101 @@ class TestEvictionCallback:
         assert removed.addr == 0x1000
         assert not cache.contains(0x1000)
         assert cache.stats.evictions == 0
+
+
+@pytest.mark.parametrize(
+    "cache_cls", [SetAssociativeCache, FlatSetAssociativeCache]
+)
+class TestLruTouchAsymmetry:
+    """Audit of the touch-on-access asymmetry, on both cache classes:
+    ``lookup`` (by default) refreshes recency; ``peek``, ``contains`` and
+    ``lookup(touch=False)`` must never perturb the replacement order or
+    the hit/miss statistics."""
+
+    def _filled_set(self, cache_cls):
+        cache = cache_cls(1024, 4, 64)  # 4 sets, 4-way; same-set stride 256
+        addrs = [0x1000 + way * 256 for way in range(4)]
+        for addr in addrs:
+            cache.insert(addr)
+        return cache, addrs, (0x1000 >> 6) & (cache.n_sets - 1)
+
+    def test_peek_and_contains_preserve_lru_order(self, cache_cls):
+        cache, addrs, set_index = self._filled_set(cache_cls)
+        before = cache.lru_order(set_index)
+        assert before == addrs  # insertion order, LRU first
+        for addr in addrs + list(reversed(addrs)):
+            assert cache.contains(addr)
+            assert cache.peek(addr) is not None
+            assert cache.peek(addr + 63) is not None  # any byte in block
+        assert cache.lru_order(set_index) == before
+
+    def test_untouched_lookup_preserves_lru_order(self, cache_cls):
+        cache, addrs, set_index = self._filled_set(cache_cls)
+        before = cache.lru_order(set_index)
+        for addr in reversed(addrs):
+            assert cache.lookup(addr, touch=False) is not None
+        assert cache.lru_order(set_index) == before
+
+    def test_peek_and_contains_leave_stats_alone(self, cache_cls):
+        cache, addrs, _ = self._filled_set(cache_cls)
+        hits, misses = cache.stats.hits, cache.stats.misses
+        for addr in addrs:
+            cache.peek(addr)
+            cache.contains(addr)
+        cache.peek(0xDEAD000)      # absent: still no stats movement
+        cache.contains(0xDEAD000)
+        assert (cache.stats.hits, cache.stats.misses) == (hits, misses)
+
+    def test_victim_unchanged_after_peeks(self, cache_cls):
+        cache, addrs, _ = self._filled_set(cache_cls)
+        for addr in reversed(addrs):  # peek in anti-LRU order
+            cache.peek(addr)
+            cache.contains(addr)
+        victims = []
+        cache.on_eviction = victims.append
+        victim = cache.insert(0x1000 + 4 * 256)  # conflict fill
+        evicted = victim.addr if victim is not None else victims[0].addr
+        assert evicted == addrs[0]  # still the original LRU block
+
+    def test_lookup_does_touch(self, cache_cls):
+        """The counterpart: plain lookup must refresh recency (guards
+        against 'fixing' the asymmetry by making everything neutral)."""
+        cache, addrs, set_index = self._filled_set(cache_cls)
+        cache.lookup(addrs[0])
+        assert cache.lru_order(set_index) == addrs[1:] + addrs[:1]
+
+
+def test_both_cache_classes_agree_on_random_ops():
+    """Cross-class differential: an identical randomized op sequence must
+    leave identical LRU orders, residency and counters in both caches."""
+    reference = SetAssociativeCache(2048, 4, 64)
+    flat = FlatSetAssociativeCache(2048, 4, 64)
+    rng = random.Random(20090214)  # fixed seed: HPCA 2009
+    addrs = [block * 64 for block in range(64)]
+    for _ in range(2000):
+        addr = rng.choice(addrs)
+        op = rng.randrange(5)
+        if op == 0:
+            reference.insert(addr, fill_time=1.0)
+            flat.insert(addr, fill_time=1.0)
+        elif op == 1:
+            assert (reference.lookup(addr) is None) == (
+                flat.lookup(addr) is None
+            )
+        elif op == 2:
+            assert (reference.peek(addr) is None) == (flat.peek(addr) is None)
+        elif op == 3:
+            assert reference.contains(addr) == flat.contains(addr)
+        else:
+            assert (reference.invalidate(addr) is None) == (
+                flat.invalidate(addr) is None
+            )
+    for set_index in range(reference.n_sets):
+        assert reference.lru_order(set_index) == flat.lru_order(set_index)
+    assert (reference.stats.hits, reference.stats.misses,
+            reference.stats.evictions) == (
+        flat.stats.hits, flat.stats.misses, flat.stats.evictions
+    )
 
 
 class TestFillTime:

@@ -142,6 +142,78 @@ class TestSweepResilience:
         assert snapshot.bpki == pytest.approx(2.0)
 
 
+class TestEngineFieldSweeps:
+    """Real sweeps through the default worker under both simulation
+    engines: the config's ``engine`` field must differentiate journal
+    keys, the journal metrics must agree bit-for-bit between engines,
+    and a fast-engine resume must replay entirely from the journal."""
+
+    BENCHMARKS = ["mst", "libquantum"]
+    MECHANISM = "baseline"
+
+    @staticmethod
+    def _config(engine):
+        from repro.core.config import SystemConfig
+
+        return SystemConfig.scaled().with_overrides(
+            l1_size=1024, l1_ways=2, l2_size=4096, l2_ways=4, engine=engine
+        )
+
+    def _jobs(self, engine):
+        return [
+            Job(name, self.MECHANISM, self._config(engine), input_set="test")
+            for name in self.BENCHMARKS
+        ]
+
+    def test_fast_sweep_matches_reference_and_resumes_from_journal(
+        self, tmp_path
+    ):
+        from repro.experiments.engine.worker import default_worker
+
+        engine = ExecutionEngine(
+            jobs=2,
+            timeout=120.0,
+            retry=FAST_RETRY,
+            checkpoint=CheckpointJournal(tmp_path / "sweep.jsonl"),
+            worker=default_worker,
+        )
+        reports = {
+            name: engine.run(self._jobs(name))
+            for name in ("reference", "fast")
+        }
+        for name, report in reports.items():
+            assert report.exit_code == 0, name
+            assert len(report.ok) == len(self.BENCHMARKS)
+            assert not report.resumed  # keys differ per engine: no replay
+
+        def metrics(report):
+            return {
+                outcome.job.benchmark: snapshot_metrics(outcome.result)
+                for outcome in report.ok
+            }
+
+        assert metrics(reports["fast"]) == metrics(reports["reference"])
+        # sanity: the journal rows are real simulations, not placeholders
+        for outcome in reports["fast"].ok:
+            assert outcome.result.retired_instructions > 0
+            assert outcome.result.cycles > 0
+
+        # resume the fast sweep: everything replays, nothing re-executes
+        resumed = engine.run(self._jobs("fast"), resume=True)
+        assert resumed.exit_code == 0
+        assert len(resumed.resumed) == len(self.BENCHMARKS)
+        assert all(outcome.resumed for outcome in resumed.ok)  # no re-runs
+        fast = metrics(reports["fast"])
+        for outcome in resumed.resumed:
+            snapshot = outcome.result
+            expected = fast[outcome.job.benchmark]
+            assert snapshot.get("retired_instructions") == expected[
+                "retired_instructions"
+            ]
+            assert snapshot.get("cycles") == expected["cycles"]
+            assert snapshot.get("bus_transfers") == expected["bus_transfers"]
+
+
 class TestFailureShapes:
     def test_worker_hard_death_is_isolated_and_retried(
         self, tmp_path, marker_dir

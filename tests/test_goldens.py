@@ -1,0 +1,114 @@
+"""Golden-snapshot regression tests for the figure benches' summary metrics.
+
+Reduced-scope versions of ``benchmarks/bench_fig07_headline.py`` and
+``benchmarks/bench_fig02_cdp_cost.py``: the same summary reductions
+(:func:`summary_line`, geomean IPC ratio, mean BPKI delta, CDP accuracy)
+over a three-benchmark subset on the deterministic ``test`` input set.
+Workload traces are seeded per (workload, input set), so these numbers
+are exact across runs — any drift is a behaviour change in the model,
+not noise, and must be either fixed or consciously re-baselined with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+
+which rewrites ``tests/goldens/*.json`` for review in the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.experiments.metrics import bpki_delta_percent, geomean
+from repro.experiments.runner import run_benchmark
+from repro.experiments.suites import summary_line
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: reduced scope: one olden pointer chase, the paper's outlier, and the
+#: high-CDP-accuracy benchmark singled out in Table 1
+BENCHES = ("mst", "health", "perimeter")
+INPUT_SET = "test"
+CONFIG = SystemConfig.scaled()
+
+FIG07_MECHANISMS = ("cdp", "ecdp", "ecdp+throttle")
+
+#: float rounding applied before snapshot/compare — wide enough that the
+#: goldens stay readable, far tighter than any real behaviour change
+NDIGITS = 6
+
+
+def _rounded(value: Any) -> Any:
+    if isinstance(value, float):
+        return round(value, NDIGITS)
+    if isinstance(value, dict):
+        return {key: _rounded(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_rounded(inner) for inner in value]
+    return value
+
+
+def _check_or_update(name: str, payload: Dict[str, Any],
+                     update: bool) -> None:
+    payload = _rounded(payload)
+    path = GOLDEN_DIR / f"{name}.json"
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"updated golden {path.name}")
+    assert path.exists(), (
+        f"missing golden {path}; generate it with --update-goldens"
+    )
+    golden = json.loads(path.read_text())
+    assert payload == golden, (
+        f"summary metrics drifted from {path.name}; if intentional, "
+        f"re-baseline with --update-goldens\n"
+        f"  golden:  {golden!r}\n"
+        f"  current: {payload!r}"
+    )
+
+
+def test_fig07_summary_metrics(update_goldens):
+    """The Figure 7 / Table 6 reduction: summary_line per mechanism."""
+    baselines = {
+        bench: run_benchmark(bench, "baseline", CONFIG, input_set=INPUT_SET)
+        for bench in BENCHES
+    }
+    payload: Dict[str, Any] = {
+        "benches": list(BENCHES),
+        "input_set": INPUT_SET,
+        "summaries": {},
+    }
+    for mechanism in FIG07_MECHANISMS:
+        results = {
+            bench: run_benchmark(bench, mechanism, CONFIG,
+                                 input_set=INPUT_SET)
+            for bench in BENCHES
+        }
+        payload["summaries"][mechanism] = summary_line(results, baselines)
+    _check_or_update("fig07_summary", payload, update_goldens)
+
+
+def test_fig02_summary_metrics(update_goldens):
+    """The Figure 2 / Table 1 reduction: CDP cost and accuracy."""
+    ratios = []
+    bpki_deltas = []
+    accuracy: Dict[str, float] = {}
+    for bench in BENCHES:
+        base = run_benchmark(bench, "baseline", CONFIG, input_set=INPUT_SET)
+        cdp = run_benchmark(bench, "cdp", CONFIG, input_set=INPUT_SET)
+        ratios.append(cdp.ipc / base.ipc)
+        bpki_deltas.append(bpki_delta_percent(cdp, base))
+        accuracy[bench] = cdp.accuracy("cdp")
+    payload = {
+        "benches": list(BENCHES),
+        "input_set": INPUT_SET,
+        "gmean_ipc_ratio": geomean(ratios),
+        "gmean_ipc_pct": (geomean(ratios) - 1.0) * 100.0,
+        "mean_bpki_pct": sum(bpki_deltas) / len(bpki_deltas),
+        "cdp_accuracy": accuracy,
+    }
+    _check_or_update("fig02_summary", payload, update_goldens)
