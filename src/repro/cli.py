@@ -9,6 +9,7 @@ Examples::
     python -m repro sweep --jobs 4 --timeout 300 --resume
     python -m repro profile mst --top 12
     python -m repro multicore xalancbmk astar --mechanism ecdp+throttle
+    python -m repro trace mst ecdp+throttle --format chrome --out trace.json
     python -m repro cost
 
 Exit codes: 0 — success; 1 — the sweep completed but some jobs failed
@@ -21,6 +22,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.config import SystemConfig
@@ -47,6 +49,16 @@ from repro.experiments.runner import (
     profile_benchmark,
     run_benchmark,
     run_multicore,
+)
+from repro.telemetry import (
+    Telemetry,
+    TelemetryConfig,
+    series_path,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_csv,
+    write_events_jsonl,
+    write_series_jsonl,
 )
 from repro.workloads.registry import (
     all_names,
@@ -181,13 +193,17 @@ def cmd_sweep(args) -> int:
     for benchmark in benchmarks:
         get_workload(benchmark)
 
-    journal = CheckpointJournal.for_sweep(
-        args.sweep_name
-        or _sweep_name(benchmarks, all_mechanisms, args.input_set, args.paper),
-        args.checkpoint_dir,
+    sweep_name = args.sweep_name or _sweep_name(
+        benchmarks, all_mechanisms, args.input_set, args.paper
     )
+    journal = CheckpointJournal.for_sweep(sweep_name, args.checkpoint_dir)
     if not args.resume:
         journal.clear()
+    telemetry_dir = None
+    if args.telemetry:
+        telemetry_dir = str(
+            Path(args.checkpoint_dir) / f"{sweep_name}-series"
+        )
     engine = ExecutionEngine(
         jobs=args.jobs,
         timeout=args.timeout,
@@ -195,7 +211,8 @@ def cmd_sweep(args) -> int:
         checkpoint=journal,
     )
     jobs = [
-        Job(benchmark, mechanism, config, input_set=args.input_set)
+        Job(benchmark, mechanism, config, input_set=args.input_set,
+            telemetry_dir=telemetry_dir)
         for mechanism in all_mechanisms
         for benchmark in benchmarks
     ]
@@ -221,16 +238,30 @@ def cmd_sweep(args) -> int:
             outcome.result if outcome.ok else FailedResult(outcome.failure)
         )
 
+    def cell_series_file(benchmark: str, mechanism: str):
+        """Recompute the worker's deterministic series path (if recorded)."""
+        if telemetry_dir is None:
+            return None
+        path = series_path(telemetry_dir, benchmark, mechanism,
+                           args.input_set)
+        return str(path) if path.exists() else None
+
     baselines = {b: result_of(b, "baseline") for b in benchmarks}
     export_records = []
     rows = []
     for bench in benchmarks:
         cells_row = [bench]
         base = baselines[bench]
-        export_records.append(result_record(bench, "baseline", base))
+        export_records.append(result_record(
+            bench, "baseline", base,
+            series_file=cell_series_file(bench, "baseline"),
+        ))
         for mechanism in mechanisms:
             result = result_of(bench, mechanism)
-            export_records.append(result_record(bench, mechanism, result))
+            export_records.append(result_record(
+                bench, mechanism, result,
+                series_file=cell_series_file(bench, mechanism),
+            ))
             if is_failed(result) or is_failed(base):
                 cells_row.append(str(result if is_failed(result) else base))
                 continue
@@ -337,6 +368,71 @@ def cmd_multicore(args) -> int:
     return 0
 
 
+#: trace output format -> (writer, default file suffix)
+_TRACE_FORMATS = {
+    "chrome": (write_chrome_trace, ".trace.json"),
+    "jsonl": (write_events_jsonl, ".events.jsonl"),
+    "csv": (write_events_csv, ".events.csv"),
+}
+
+
+def cmd_trace(args) -> int:
+    """Run one cell with full telemetry and export the event trace."""
+    config = _config(args)
+    telemetry = Telemetry(
+        TelemetryConfig(
+            series=True,
+            series_max_points=args.max_points,
+            trace=True,
+            trace_capacity=args.capacity,
+        )
+    )
+    result = run_benchmark(
+        args.benchmark, args.mechanism, config,
+        input_set=args.input_set, telemetry=telemetry,
+    )
+    writer, suffix = _TRACE_FORMATS[args.format]
+    out = args.out or f"{args.benchmark}-{args.mechanism}{suffix}"
+    written = writer(telemetry, out)
+    if args.format == "chrome":
+        problems = validate_chrome_trace(out)
+        if problems:
+            for problem in problems:
+                print(f"invalid trace: {problem}", file=sys.stderr)
+            return 1
+    if args.series:
+        rows = write_series_jsonl(telemetry, args.series)
+        print(f"wrote {rows} interval samples to {args.series}")
+
+    stream = telemetry.stream("core0")
+    summary = stream.summary()
+    series = summary.get("series", {})
+    events = summary.get("events", {})
+    rows = [
+        ("ipc", f"{result.ipc:.3f}"),
+        ("bpki", f"{result.bpki:.1f}"),
+        ("intervals completed", result.intervals_completed),
+        ("series samples (stride)",
+         f"{series.get('samples', 0)} ({series.get('stride', 1)})"),
+        ("throttle decisions", len(stream.trajectory)),
+        ("events recorded", events.get("appended", 0)),
+        ("events retained", events.get("retained", 0)),
+        ("events dropped (ring full)", events.get("dropped", 0)),
+    ]
+    for kind, count in sorted(events.get("by_kind", {}).items()):
+        rows.append((f"  {kind}", count))
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            title=f"trace {args.benchmark}/{args.mechanism} ({args.input_set})",
+        )
+    )
+    print(f"wrote {written} events to {out}")
+    if args.format == "chrome":
+        print("load it in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def cmd_cost(args) -> int:
     config = SystemConfig.paper() if args.paper else SystemConfig.scaled()
     report = proposal_cost(config)
@@ -420,6 +516,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="tiny fixed sweep exercising the engine end to end "
                         "(CI smoke test)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="record per-interval telemetry series for every "
+                        "cell (written beside the checkpoint journal; "
+                        "export rows gain a series_file pointer)")
     common(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -434,6 +534,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mechanism", default="ecdp+throttle")
     common(p)
     p.set_defaults(func=cmd_multicore)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one cell with telemetry and export the event trace",
+    )
+    p.add_argument("benchmark")
+    p.add_argument("mechanism", nargs="?", default="ecdp+throttle")
+    p.add_argument("--format", choices=sorted(_TRACE_FORMATS),
+                   default="chrome",
+                   help="trace output format (default chrome, for "
+                        "chrome://tracing)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="trace output path (default "
+                        "<benchmark>-<mechanism><suffix>)")
+    p.add_argument("--series", metavar="FILE.jsonl", default=None,
+                   help="also dump the per-interval series as JSONL")
+    p.add_argument("--capacity", type=int, default=65536, metavar="N",
+                   help="event ring capacity (default 65536; older events "
+                        "fall off and are counted as dropped)")
+    p.add_argument("--max-points", type=int, default=4096, metavar="N",
+                   help="retained series samples before decimation "
+                        "doubles the keep stride (default 4096)")
+    common(p)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("cost", help="print the Table 7 hardware cost model")
     p.add_argument("--paper", action="store_true")

@@ -55,6 +55,7 @@ class Core:
         gendler: Optional[GendlerSelector] = None,
         oracle_pcs: Optional[Set[int]] = None,
         value_observers: Sequence = (),
+        telemetry=None,
     ) -> None:
         self.config = config
         self.memory = memory
@@ -86,7 +87,18 @@ class Core:
         names = [p.name for p in trained]
         if cdp is not None:
             names.append(cdp.name)
-        self.feedback = FeedbackCollector(names, config.interval_evictions)
+        #: optional telemetry stream (repro.telemetry.CoreTelemetry).
+        #: None (the default) keeps every hot path exactly as before:
+        #: the plain collector below and a no-op tracer guard on the
+        #: prefetch-issue cold path are the entire disabled footprint.
+        self.telemetry = telemetry
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        if telemetry is None:
+            self.feedback = FeedbackCollector(names, config.interval_evictions)
+        else:
+            self.feedback = telemetry.make_collector(
+                names, config.interval_evictions, clock=self
+            )
 
         self.cycle = 0.0
         self.retired = 0
@@ -137,6 +149,10 @@ class Core:
                     self.cycle = completion
             self._outstanding.clear()
             self._finished = True
+            # Fold the trailing partial interval into the smoothed
+            # counters (and the recorded series, when telemetry is on).
+            # The throttling controller is deliberately not invoked.
+            self.feedback.flush_partial_interval()
         return self.result()
 
     def result(self) -> CoreResult:
@@ -157,6 +173,7 @@ class Core:
             l2_demand_misses=self.feedback.lifetime_misses,
             bus_transfers=self.bus_transfers,
             prefetchers=prefetchers,
+            intervals_completed=self.feedback.intervals_completed,
         )
 
     # -- dispatch window -------------------------------------------------------
@@ -425,6 +442,10 @@ class Core:
         self.pf_queue.commit(completion)
         self.bus_transfers += 1
         self.feedback.record_issue(request.owner)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(now, "prefetch", request.owner, block_addr,
+                        completion - now)
         if self.gendler is not None:
             self.gendler.record_issue(request.owner)
         if is_cdp and self.pg_observer is not None:

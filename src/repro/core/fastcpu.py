@@ -23,6 +23,15 @@ throttling) matrix.  Any optimization that changes a number is a bug
 here, never a tolerable drift.  Cold paths (deferred CDP scans, prefetch
 issue, value hooks, result assembly) are inherited from ``Core``
 unchanged.
+
+Telemetry contract: ``run`` binds ``feedback.record_use`` /
+``record_demand_miss`` / ``record_eviction`` as locals once at entry, so
+a :class:`~repro.telemetry.tracer.TracingFeedbackCollector` (chosen at
+construction time when event tracing is on) binds transparently — and
+``self.cycle`` / ``self.retired`` are flushed from the loop-local copies
+before every ``record_*`` call site, so event timestamps are
+bit-identical to the reference engine.  With telemetry disabled this hot
+loop is byte-for-byte the pre-telemetry path.
 """
 
 from __future__ import annotations

@@ -42,6 +42,8 @@ class CoreResult:
     l2_demand_misses: int = 0
     bus_transfers: int = 0
     prefetchers: Dict[str, PrefetcherResult] = field(default_factory=dict)
+    #: feedback intervals fully rolled over (tail flush not counted)
+    intervals_completed: int = 0
 
     @property
     def ipc(self) -> float:

@@ -28,6 +28,7 @@ _SCALAR_METRICS = (
     "l2_hits",
     "l2_demand_misses",
     "bus_transfers",
+    "intervals_completed",
 )
 
 
@@ -40,6 +41,11 @@ class Job:
     config: SystemConfig = field(default_factory=SystemConfig.scaled)
     input_set: str = "ref"
     profile_input: str = "train"
+    #: directory for per-interval telemetry series files (None = no
+    #: telemetry).  Deliberately excluded from :meth:`key`: recording
+    #: telemetry does not change the simulation, so a telemetry sweep can
+    #: resume from a non-telemetry journal and vice versa.
+    telemetry_dir: Optional[str] = None
 
     @property
     def label(self) -> str:

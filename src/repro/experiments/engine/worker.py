@@ -18,18 +18,42 @@ from repro.experiments.engine.job import Job
 
 
 def default_worker(job: Job) -> Any:
-    """Run one (benchmark, mechanism) simulation; the engine's default."""
+    """Run one (benchmark, mechanism) simulation; the engine's default.
+
+    When the job carries a ``telemetry_dir``, the run records the
+    per-interval series and persists it beside the sweep's checkpoint
+    journal (one ``<benchmark>-<mechanism>-<input_set>.series.jsonl``
+    per cell — the path is deterministic via
+    :func:`repro.telemetry.series_path`, so exporters can recompute it).
+    """
     from repro.experiments.runner import run_benchmark
 
     if hasattr(job.config, "validate"):
         job.config.validate()
-    return run_benchmark(
+    telemetry = None
+    if job.telemetry_dir:
+        from repro.telemetry import Telemetry, TelemetryConfig
+
+        telemetry = Telemetry(TelemetryConfig(series=True, trace=False))
+    result = run_benchmark(
         job.benchmark,
         job.mechanism,
         job.config,
         input_set=job.input_set,
         profile_input=job.profile_input,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        from pathlib import Path
+
+        from repro.telemetry import series_path, write_series_jsonl
+
+        Path(job.telemetry_dir).mkdir(parents=True, exist_ok=True)
+        path = series_path(
+            job.telemetry_dir, job.benchmark, job.mechanism, job.input_set
+        )
+        write_series_jsonl(telemetry, path)
+    return result
 
 
 def error_info(error: BaseException) -> Dict[str, Any]:

@@ -32,15 +32,27 @@ FIELDS = [
     "cdp_coverage",
     "stream_accuracy",
     "stream_coverage",
+    "intervals_completed",
+    "series_file",
 ]
 
 
-def result_record(benchmark: str, mechanism: str, result: CoreResult) -> Dict:
+def result_record(
+    benchmark: str,
+    mechanism: str,
+    result: CoreResult,
+    series_file: Union[str, None] = None,
+) -> Dict:
     """Flatten one run's metrics into an export row.
 
     A failed run exports with ``status`` carrying the failure reason and
     every metric column null, so downstream analysis sees the hole
     explicitly instead of a silently missing row.
+
+    ``series_file`` optionally points at the per-interval telemetry
+    series recorded for this cell (sweeps run with ``--telemetry``
+    persist one file per cell beside the checkpoint journal); it stays
+    null for runs without telemetry.
     """
     if is_failed(result):
         reason = getattr(result, "reason", "unknown failure")
@@ -64,6 +76,8 @@ def result_record(benchmark: str, mechanism: str, result: CoreResult) -> Dict:
         "cdp_coverage": result.coverage("cdp"),
         "stream_accuracy": result.accuracy("stream"),
         "stream_coverage": result.coverage("stream"),
+        "intervals_completed": getattr(result, "intervals_completed", None),
+        "series_file": series_file,
     }
 
 

@@ -223,8 +223,14 @@ def build_core(
     dram: DramController,
     hint_filter: Optional[Callable[[int, int], bool]] = None,
     name: str = "core0",
+    telemetry=None,
 ) -> Core:
-    """Wire up one core with the mechanism's prefetchers and controller."""
+    """Wire up one core with the mechanism's prefetchers and controller.
+
+    ``telemetry`` is an optional :class:`repro.telemetry.CoreTelemetry`
+    stream; it is installed *after* the throttling controller attaches so
+    the interval recorder observes post-decision state.
+    """
     core_cls = core_class_for(config)
     stream = (
         StreamPrefetcher(config.block_size, config.stream_count)
@@ -285,6 +291,7 @@ def build_core(
         gendler=gendler,
         oracle_pcs=instance.lds_pcs if mechanism.oracle_lds else None,
         value_observers=value_observers,
+        telemetry=telemetry,
     )
 
     thresholds = ThrottleThresholds(
@@ -301,6 +308,8 @@ def build_core(
         gendler.attach(core.feedback)
     elif mechanism.throttle != "none":
         raise ConfigError(f"unknown throttle mode {mechanism.throttle!r}")
+    if telemetry is not None:
+        telemetry.install(core, dram)
     return core
 
 
@@ -311,11 +320,19 @@ def run_benchmark(
     input_set: str = "ref",
     profile_input: str = "train",
     use_cache: bool = True,
+    telemetry=None,
 ) -> CoreResult:
-    """Run one benchmark under one mechanism on a single core."""
+    """Run one benchmark under one mechanism on a single core.
+
+    With a :class:`repro.telemetry.Telemetry` session, the run records
+    into the session's ``core0`` stream, and the result cache is
+    bypassed (a memoized result would carry no recordings).
+    """
     config = config or SystemConfig.scaled()
     mech = get_mechanism(mechanism)
     key = (benchmark, mechanism, input_set, profile_input, config)
+    if telemetry is not None:
+        use_cache = False
     if use_cache:
         cached = _RESULT_CACHE.get(key)
         if cached is not None:
@@ -323,7 +340,12 @@ def run_benchmark(
     hint_filter = hint_filter_for(mech, benchmark, config, profile_input)
     instance = get_workload(benchmark).build(input_set)
     dram = make_dram(config, n_cores=1)
-    core = build_core(mech, config, instance, dram, hint_filter)
+    stream_telemetry = (
+        telemetry.stream("core0") if telemetry is not None else None
+    )
+    core = build_core(
+        mech, config, instance, dram, hint_filter, telemetry=stream_telemetry
+    )
     result = core.run(instance.trace())
     if use_cache:
         _RESULT_CACHE.put(key, result)
@@ -336,8 +358,14 @@ def run_multicore(
     config: Optional[SystemConfig] = None,
     input_set: str = "ref",
     profile_input: str = "train",
+    telemetry=None,
 ) -> List[CoreResult]:
-    """Run a multiprogrammed mix, one benchmark per core, shared DRAM."""
+    """Run a multiprogrammed mix, one benchmark per core, shared DRAM.
+
+    With a :class:`repro.telemetry.Telemetry` session, core *i* records
+    into the session's ``core<i>`` stream — streams stay disjoint even
+    though the cores share one DRAM controller.
+    """
     config = config or SystemConfig.scaled()
     mech = get_mechanism(mechanism)
     dram = make_dram(config, n_cores=len(benchmarks))
@@ -346,8 +374,13 @@ def run_multicore(
     for index, benchmark in enumerate(benchmarks):
         hint_filter = hint_filter_for(mech, benchmark, config, profile_input)
         instance = get_workload(benchmark).build(input_set)
+        name = f"core{index}"
+        stream_telemetry = (
+            telemetry.stream(name) if telemetry is not None else None
+        )
         core = build_core(
-            mech, config, instance, dram, hint_filter, name=f"core{index}"
+            mech, config, instance, dram, hint_filter, name=name,
+            telemetry=stream_telemetry,
         )
         cores.append(core)
         traces.append(instance.trace())

@@ -1,0 +1,145 @@
+"""Low-overhead metrics registry: counters, gauges, sampled namespaces.
+
+The simulation components (caches, DRAM controller, bus, feedback
+collector, prefetch queue) already count everything the paper's figures
+need — the registry does not ask them to emit per-event callbacks.
+Instead it binds *gauges*: named, zero-argument callables evaluated only
+when somebody samples the registry (the interval recorder, an exporter,
+a test).  Publishing is therefore free on the simulation hot path; the
+only cost is paid at sample time, which happens once per feedback
+interval at most.
+
+``Counter`` exists for telemetry's own bookkeeping (events appended,
+samples dropped by decimation) where there is no component counter to
+bind to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+Sampler = Callable[[], float]
+
+
+class Counter:
+    """A plain owned counter for telemetry-internal tallies."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class MetricsRegistry:
+    """Named metric namespace; every entry is sampled lazily."""
+
+    def __init__(self) -> None:
+        self._samplers: Dict[str, Sampler] = {}
+
+    def gauge(self, name: str, fn: Sampler) -> None:
+        """Register *fn* as the sampler for *name* (last write wins)."""
+        self._samplers[name] = fn
+
+    def counter(self, name: str) -> Counter:
+        """Create, register and return an owned counter."""
+        counter = Counter(name)
+        self._samplers[name] = lambda: counter.value
+        return counter
+
+    def names(self) -> List[str]:
+        return sorted(self._samplers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._samplers
+
+    def __len__(self) -> int:
+        return len(self._samplers)
+
+    def sample(self, prefix: str = "") -> Dict[str, float]:
+        """Evaluate every (matching) gauge right now."""
+        return {
+            name: fn()
+            for name, fn in sorted(self._samplers.items())
+            if name.startswith(prefix)
+        }
+
+
+def _prefetcher_names(core) -> Iterable[str]:
+    names = [p.name for p in core._trained_prefetchers]
+    if core.cdp is not None:
+        names.append(core.cdp.name)
+    return names
+
+
+def bind_core_metrics(registry: MetricsRegistry, core, dram) -> None:
+    """Publish one core's standard metric namespace into *registry*.
+
+    Everything is bound by closure over the live component objects, so a
+    sample taken mid-run (or after ``finish``) reads current state.
+    """
+    name = core.name
+    l1, l2 = core.l1, core.l2
+    feedback = core.feedback
+    registry.gauge(f"{name}.cycles", lambda: core.cycle)
+    registry.gauge(f"{name}.retired", lambda: core.retired)
+    registry.gauge(f"{name}.bus_transfers", lambda: core.bus_transfers)
+    registry.gauge(f"{name}.mshr_occupancy", lambda: len(core._outstanding))
+    registry.gauge(f"{name}.l1.hits", lambda: l1.stats.hits)
+    registry.gauge(f"{name}.l1.misses", lambda: l1.stats.misses)
+    registry.gauge(f"{name}.l2.hits", lambda: l2.stats.hits)
+    registry.gauge(f"{name}.l2.misses", lambda: l2.stats.misses)
+    registry.gauge(f"{name}.l2.evictions", lambda: l2.stats.evictions)
+    registry.gauge(
+        f"{name}.l2.prefetch_fills", lambda: l2.stats.prefetch_fills
+    )
+    registry.gauge(
+        f"{name}.feedback.intervals", lambda: feedback.intervals_completed
+    )
+    registry.gauge(
+        f"{name}.feedback.demand_misses", lambda: feedback.lifetime_misses
+    )
+    registry.gauge(
+        f"{name}.feedback.pollution", lambda: feedback.lifetime_pollution
+    )
+    registry.gauge(f"{name}.pf_queue.dropped", lambda: core.pf_queue.dropped)
+    for owner in _prefetcher_names(core):
+        counters = feedback.counters[owner]
+        registry.gauge(
+            f"{name}.prefetch.{owner}.issued",
+            lambda c=counters: c.lifetime_prefetched,
+        )
+        registry.gauge(
+            f"{name}.prefetch.{owner}.used",
+            lambda c=counters: c.lifetime_used,
+        )
+        registry.gauge(
+            f"{name}.prefetch.{owner}.late",
+            lambda c=counters: c.lifetime_late,
+        )
+    stats = dram.stats
+    registry.gauge(f"{name}.dram.demand_requests", lambda: stats.demand_requests)
+    registry.gauge(
+        f"{name}.dram.prefetch_requests", lambda: stats.prefetch_requests
+    )
+    registry.gauge(f"{name}.dram.writebacks", lambda: stats.writebacks)
+    registry.gauge(
+        f"{name}.dram.dropped_prefetches", lambda: stats.dropped_prefetches
+    )
+    registry.gauge(
+        f"{name}.dram.buffer_full_stalls", lambda: stats.buffer_full_stalls
+    )
+    registry.gauge(f"{name}.bus.transfers", lambda: dram.bus.transfers)
+
+
+def dram_occupancy(dram, now: float) -> int:
+    """In-flight DRAM requests at *now*, without mutating the heap.
+
+    The controller's own ``_occupancy`` lazily pops completed entries;
+    this read-only count keeps sampling strictly side-effect free, so a
+    telemetry-enabled run stays bit-identical to a disabled one.
+    """
+    return sum(1 for completion in dram._in_flight if completion > now)

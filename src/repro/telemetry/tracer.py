@@ -1,0 +1,124 @@
+"""Event tracer: a bounded ring buffer of simulation events.
+
+Events are compact tuples ``(ts, kind, name, addr, dur, args)``:
+
+* ``("prefetch", owner, block_addr, fill-issue duration)`` — one span
+  per issued prefetch, from bus issue to fill arrival;
+* ``("use", owner)`` — a demand hit consumed a prefetched block
+  (``args`` carries ``{"late": True}`` when the fill was still in
+  flight);
+* ``("miss", block_addr)`` — an L2 demand miss;
+* ``("evict", victim_addr)`` — an L2 eviction (``args`` marks evictions
+  caused by a prefetch fill);
+* ``("throttle", owner)`` — an aggressiveness-level transition, emitted
+  by the interval recorder with ``{"from": l0, "to": l1, "interval": k}``;
+* ``("interval", core)`` — an interval roll-over marker.
+
+The buffer is a ring: when full, the oldest events fall off and
+``dropped`` counts them, so tracing a long run costs bounded memory and
+keeps the most recent window — the part a user debugging a throttle
+oscillation actually wants.
+
+:class:`TracingFeedbackCollector` is the only hook the core models need:
+it subclasses :class:`~repro.throttle.feedback.FeedbackCollector`, calls
+``super()`` first (identical arithmetic, so results are bit-identical
+with tracing on or off) and mirrors each event into the ring with the
+owning core's current cycle as timestamp.  When tracing is disabled the
+plain collector is constructed instead and the hot paths of both engines
+run the exact pre-telemetry code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.throttle.feedback import FeedbackCollector
+
+TraceTuple = Tuple[float, str, Optional[str], Optional[int], Optional[float],
+                   Optional[Dict[str, Any]]]
+
+#: default ring capacity (events); ~6 small fields per event
+DEFAULT_CAPACITY = 65536
+
+
+class EventTracer:
+    """Bounded ring buffer of trace events for one core."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.events: Deque[TraceTuple] = deque(maxlen=capacity)
+        self.appended = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring by newer ones."""
+        return max(0, self.appended - self.capacity)
+
+    def emit(
+        self,
+        ts: float,
+        kind: str,
+        name: Optional[str] = None,
+        addr: Optional[int] = None,
+        dur: Optional[float] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.appended += 1
+        self.events.append((ts, kind, name, addr, dur, args))
+
+    def snapshot(self) -> List[TraceTuple]:
+        """The retained window, oldest first."""
+        return list(self.events)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event[1]] = counts.get(event[1], 0) + 1
+        return counts
+
+
+class TracingFeedbackCollector(FeedbackCollector):
+    """FeedbackCollector that mirrors its events into an :class:`EventTracer`.
+
+    ``clock`` is the owning core; both engines keep ``core.cycle``
+    current at every ``record_*`` call site (the fast engine flushes its
+    loop-local cycle before any cold call), so timestamps are identical
+    across engines.
+    """
+
+    def __init__(
+        self,
+        prefetcher_names,
+        interval_evictions: int = 8192,
+        pollution_filter_bits: int = 4096,
+        *,
+        tracer: EventTracer,
+        clock,
+    ) -> None:
+        super().__init__(
+            prefetcher_names, interval_evictions, pollution_filter_bits
+        )
+        self.tracer = tracer
+        self._clock = clock
+
+    def record_use(self, owner: str, late: bool = False) -> None:
+        super().record_use(owner, late)
+        self.tracer.emit(
+            self._clock.cycle, "use", owner,
+            args={"late": True} if late else None,
+        )
+
+    def record_demand_miss(self, block_addr: int) -> None:
+        super().record_demand_miss(block_addr)
+        self.tracer.emit(self._clock.cycle, "miss", None, block_addr)
+
+    def record_eviction(self, victim_addr: int, by_prefetch: bool,
+                        victim_was_demand: bool) -> None:
+        super().record_eviction(victim_addr, by_prefetch, victim_was_demand)
+        self.tracer.emit(
+            self._clock.cycle, "evict", None, victim_addr,
+            args={"by_prefetch": True} if by_prefetch else None,
+        )

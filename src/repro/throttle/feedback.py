@@ -112,7 +112,10 @@ class FeedbackCollector:
 
     ``on_interval`` (set by the throttling controller) fires after every
     ``interval_evictions`` L2 evictions, *after* counters are rolled, so
-    the controller sees smoothed values.
+    the controller sees smoothed values.  ``on_interval_telemetry`` (set
+    by the telemetry layer, see :mod:`repro.telemetry`) fires after the
+    controller with ``(collector, tail)``, so recorded samples see both
+    the rolled counters and the levels the controller just chose.
     """
 
     def __init__(
@@ -131,8 +134,12 @@ class FeedbackCollector:
         self.interval_evictions = interval_evictions
         self._evictions_this_interval = 0
         self.intervals_completed = 0
+        self.tail_flushed = False
         self._filter = PollutionFilter(pollution_filter_bits)
         self.on_interval: Optional[Callable[["FeedbackCollector"], None]] = None
+        self.on_interval_telemetry: Optional[
+            Callable[["FeedbackCollector", bool], None]
+        ] = None
 
     # -- recording hooks (called by the core model) -------------------------
 
@@ -166,7 +173,7 @@ class FeedbackCollector:
 
     # -- interval machinery --------------------------------------------------
 
-    def _roll_interval(self) -> None:
+    def _roll_counters(self) -> None:
         self._evictions_this_interval = 0
         for counter in self.counters.values():
             counter.total_prefetched.roll()
@@ -174,9 +181,48 @@ class FeedbackCollector:
             counter.late.roll()
         self.total_misses.roll()
         self.pollution.roll()
+
+    def _roll_interval(self) -> None:
+        self._roll_counters()
         self.intervals_completed += 1
         if self.on_interval is not None:
             self.on_interval(self)
+        if self.on_interval_telemetry is not None:
+            self.on_interval_telemetry(self, False)
+
+    def _has_partial_interval(self) -> bool:
+        """Anything recorded since the last roll-over?"""
+        if self._evictions_this_interval:
+            return True
+        if self.total_misses.during or self.pollution.during:
+            return True
+        return any(
+            counter.total_prefetched.during
+            or counter.total_used.during
+            or counter.late.during
+            for counter in self.counters.values()
+        )
+
+    def flush_partial_interval(self) -> bool:
+        """Roll the trailing partial interval at end of run.
+
+        A run rarely ends exactly on an eviction boundary; without this
+        flush the tail's prefetches, uses and misses never enter the
+        smoothed Eq. 3 counters and the recorded interval series stops
+        one sample short.  The flush rolls the counters and notifies the
+        telemetry hook with ``tail=True`` — it does *not* invoke the
+        throttling controller (there is no following interval for a
+        decision to act in) and does not count toward
+        ``intervals_completed``.  Idempotent; returns True if a partial
+        interval was actually flushed.
+        """
+        if self.tail_flushed or not self._has_partial_interval():
+            return False
+        self._roll_counters()
+        self.tail_flushed = True
+        if self.on_interval_telemetry is not None:
+            self.on_interval_telemetry(self, True)
+        return True
 
     # -- derived metrics -----------------------------------------------------
 

@@ -32,13 +32,21 @@ def capture(
     config: SystemConfig,
     input_set: str = "test",
     profile_input: str = "train",
+    telemetry=None,
 ) -> Dict[str, Any]:
-    """Run one cell under ``config.engine`` and snapshot every statistic."""
+    """Run one cell under ``config.engine`` and snapshot every statistic.
+
+    ``telemetry`` optionally threads a
+    :class:`repro.telemetry.CoreTelemetry` stream into the build, so
+    telemetry-on runs can be snapshot-compared against plain ones (they
+    must be bit-identical — recording must never perturb simulation).
+    """
     mech = get_mechanism(mechanism)
     hint_filter = hint_filter_for(mech, benchmark, config, profile_input)
     instance = get_workload(benchmark).build(input_set)
     dram = make_dram(config, n_cores=1)
-    core = build_core(mech, config, instance, dram, hint_filter)
+    core = build_core(mech, config, instance, dram, hint_filter,
+                      telemetry=telemetry)
     result = core.run(instance.trace())
 
     trajectory = None

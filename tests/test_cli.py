@@ -19,6 +19,8 @@ class TestParser:
             ["sweep", "--benchmarks", "mst"],
             ["profile", "mst"],
             ["multicore", "mst", "health"],
+            ["trace", "mst"],
+            ["trace", "mst", "cdp", "--format", "jsonl"],
             ["cost"],
         ):
             args = parser.parse_args(argv)
@@ -84,3 +86,54 @@ class TestCommands:
         assert main(["cost", "--paper"]) == 0
         out = capsys.readouterr().out
         assert "2.11 KB" in out
+
+    def test_trace_chrome(self, capsys, tmp_path):
+        from repro.telemetry import validate_chrome_trace
+
+        out_file = tmp_path / "mst.trace.json"
+        series_file = tmp_path / "mst.series.jsonl"
+        assert (
+            main([
+                "trace", "mst", "cdp", "--input-set", "test",
+                "--out", str(out_file), "--series", str(series_file),
+            ])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "events recorded" in out and "chrome://tracing" in out
+        assert validate_chrome_trace(out_file) == []
+        assert series_file.exists()
+
+    def test_trace_csv(self, capsys, tmp_path):
+        out_file = tmp_path / "mst.events.csv"
+        assert (
+            main([
+                "trace", "mst", "cdp", "--input-set", "test",
+                "--format", "csv", "--out", str(out_file),
+            ])
+            == 0
+        )
+        header = out_file.read_text().splitlines()[0]
+        assert header == "core,ts,kind,name,addr,dur,args"
+
+    def test_sweep_telemetry(self, capsys, tmp_path):
+        import json
+        from pathlib import Path
+
+        export = tmp_path / "out.json"
+        assert (
+            main([
+                "sweep", "--smoke", "--telemetry",
+                "--checkpoint-dir", str(tmp_path),
+                "--export", str(export),
+            ])
+            == 0
+        )
+        records = json.loads(export.read_text())
+        assert all("intervals_completed" in r for r in records)
+        ok_rows = [r for r in records if r["status"] == "ok"]
+        assert ok_rows
+        for record in ok_rows:
+            # worker persisted one series file per cell
+            assert record["series_file"] is not None
+            assert Path(record["series_file"]).exists()

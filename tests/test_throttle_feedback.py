@@ -114,3 +114,62 @@ class TestFeedbackCollector:
         collector.record_use("cdp")
         collector.record_demand_miss(0)
         assert collector.lifetime_coverage("cdp") == pytest.approx(0.5)
+
+
+class TestTailFlush:
+    """End-of-run flush of the trailing partial interval."""
+
+    def make(self, interval=4):
+        return FeedbackCollector(["stream", "cdp"], interval_evictions=interval)
+
+    def test_flush_rolls_trailing_counts(self):
+        collector = self.make()
+        collector.record_issue("cdp", 8)
+        assert collector.flush_partial_interval() is True
+        # trailing issues entered the Eq. 3 smoothed value
+        assert collector.counters["cdp"].total_prefetched.smoothed == 4.0
+        assert collector.counters["cdp"].total_prefetched.during == 0
+
+    def test_flush_does_not_fire_controller(self):
+        collector = self.make()
+        fired = []
+        collector.on_interval = fired.append
+        collector.record_issue("cdp")
+        collector.flush_partial_interval()
+        assert fired == []
+        assert collector.intervals_completed == 0
+
+    def test_flush_notifies_telemetry_with_tail_flag(self):
+        collector = self.make()
+        seen = []
+        collector.on_interval_telemetry = (
+            lambda c, tail: seen.append((c, tail))
+        )
+        collector.record_demand_miss(0x40)
+        collector.flush_partial_interval()
+        assert seen == [(collector, True)]
+
+    def test_flush_idempotent(self):
+        collector = self.make()
+        collector.record_issue("cdp")
+        assert collector.flush_partial_interval() is True
+        collector.tail_flushed = collector.tail_flushed  # unchanged
+        assert collector.flush_partial_interval() is False
+
+    def test_flush_noop_without_partial_interval(self):
+        collector = self.make()
+        assert collector.flush_partial_interval() is False
+        assert collector.tail_flushed is False
+
+    def test_flush_noop_right_after_roll(self):
+        collector = self.make(interval=2)
+        collector.record_issue("cdp")
+        collector.record_eviction(0, False, True)
+        collector.record_eviction(0, False, True)  # interval rolls here
+        assert collector.intervals_completed == 1
+        assert collector.flush_partial_interval() is False
+
+    def test_partial_evictions_alone_trigger_flush(self):
+        collector = self.make(interval=4)
+        collector.record_eviction(0, False, True)
+        assert collector.flush_partial_interval() is True
