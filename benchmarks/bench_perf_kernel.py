@@ -1,12 +1,17 @@
-"""Engine kernel microbenchmark — fast vs reference simulated ops/sec.
+"""Engine kernel microbenchmark — the three-engine speedup ladder.
 
 Measures the simulation kernel itself (trace pre-materialized, only
 ``core.run`` timed) over olden-style pointer chases and a streaming
 workload, each on the raw kernel (``no-prefetch``) and on the
 stream-prefetcher baseline.  Every cell runs through the sweep engine
 (crash isolation + checkpoint-resume) via
-:func:`repro.experiments.kernel_bench.kernel_bench_worker`, which also
-verifies the two engines returned bit-identical results.
+:func:`repro.experiments.kernel_bench.kernel_bench_worker`, which times
+all available engines with interleaved best-of rounds and verifies they
+returned bit-identical results.
+
+The ladder: ``reference`` (event-faithful scalar) -> ``fast`` (flat
+dicts) -> ``batch`` (columnar numpy state).  Without numpy the batch
+column is reported as ``null`` and the ladder degrades to the pair.
 
 Two entry points:
 
@@ -15,8 +20,10 @@ Two entry points:
 * ``PYTHONPATH=src python benchmarks/bench_perf_kernel.py`` — the full
   measurement, written to ``BENCH_kernel.json`` at the repo root.
 
-The acceptance bar for the fast engine is the pointer-chase kernel cell
-(``mst`` / ``no-prefetch``): >= 2x ops/sec over the reference engine.
+Acceptance bars, both on the pointer-chase kernel cell
+(``mst`` / ``no-prefetch``): the fast engine must hold >= 2x ops/sec
+over reference, and the batch engine >= 2x over fast (>= 4x over
+reference).
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -39,6 +47,7 @@ from repro.experiments.kernel_bench import (
     OPS_ENV,
     REPEATS_ENV,
     kernel_bench_worker,
+    measured_engines,
 )
 from repro.experiments.reporting import format_table
 
@@ -58,13 +67,34 @@ HEADLINE_CELL = ("mst", "no-prefetch")
 _METRIC_KEYS = (
     "ops",
     "repeats",
+    "engines",
     "reference_seconds",
     "fast_seconds",
+    "batch_seconds",
+    "batch_decode_seconds",
     "reference_ops_per_sec",
     "fast_ops_per_sec",
+    "batch_ops_per_sec",
     "speedup",
+    "batch_speedup",
+    "batch_speedup_vs_fast",
     "identical",
 )
+
+
+def _versions() -> Dict[str, Optional[str]]:
+    """Interpreter/library versions the measurement depends on."""
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+    }
 
 
 def compute(
@@ -120,6 +150,9 @@ def compute(
     pointer_cells = [
         c for c in kernel_cells if c["class"] == "pointer-chase"
     ]
+    batch_pointer = [
+        c for c in pointer_cells if c.get("batch_speedup") is not None
+    ]
     headline = {
         "pointer_chase_kernel_speedup": (
             headline_cell["speedup"] if headline_cell else None
@@ -129,14 +162,28 @@ def compute(
             if pointer_cells
             else None
         ),
+        "batch_pointer_chase_kernel_speedup": (
+            headline_cell.get("batch_speedup") if headline_cell else None
+        ),
+        "batch_pointer_chase_speedup_vs_fast": (
+            headline_cell.get("batch_speedup_vs_fast")
+            if headline_cell
+            else None
+        ),
+        "max_batch_pointer_chase_speedup_vs_fast": (
+            max(c["batch_speedup_vs_fast"] for c in batch_pointer)
+            if batch_pointer
+            else None
+        ),
         "all_identical": bool(cells) and all(c["identical"] for c in cells),
     }
     return {
         "benchmark": "bench_perf_kernel",
-        "engines": ["reference", "fast"],
+        "engines": list(measured_engines()),
         "config": "scaled",
         "input_set": INPUT_SET,
         "op_budget": _env_int(OPS_ENV),
+        "versions": _versions(),
         "cells": cells,
         "headline": headline,
         "failures": failures,
@@ -152,6 +199,12 @@ def _env_int(name: str) -> Optional[int]:
 
 
 def render(payload: Dict[str, Any]) -> str:
+    def fmt_ops(value: Optional[float]) -> str:
+        return f"{value:,.0f}" if value else "n/a"
+
+    def fmt_ratio(value: Optional[float]) -> str:
+        return f"{value:.2f}x" if value else "n/a"
+
     rows = []
     for cell in payload["cells"]:
         rows.append(
@@ -159,16 +212,20 @@ def render(payload: Dict[str, Any]) -> str:
                 f"{cell['workload']} ({cell['class']})",
                 cell["mechanism"],
                 f"{cell['ops']}",
-                f"{cell['reference_ops_per_sec']:,.0f}",
-                f"{cell['fast_ops_per_sec']:,.0f}",
-                f"{cell['speedup']:.2f}x",
+                fmt_ops(cell["reference_ops_per_sec"]),
+                fmt_ops(cell["fast_ops_per_sec"]),
+                fmt_ops(cell.get("batch_ops_per_sec")),
+                fmt_ratio(cell["speedup"]),
+                fmt_ratio(cell.get("batch_speedup")),
                 "yes" if cell["identical"] else "NO",
             )
         )
     for failure in payload["failures"]:
-        rows.append((failure["cell"], "FAILED", failure["reason"], "", "", "", ""))
+        rows.append(
+            (failure["cell"], "FAILED", failure["reason"],
+             "", "", "", "", "", "")
+        )
     headline = payload["headline"]
-    pointer = headline["pointer_chase_kernel_speedup"]
     rows.append(
         (
             "[headline]",
@@ -176,15 +233,17 @@ def render(payload: Dict[str, Any]) -> str:
             "",
             "",
             "",
-            f"{pointer:.2f}x" if pointer else "n/a",
+            "",
+            fmt_ratio(headline["pointer_chase_kernel_speedup"]),
+            fmt_ratio(headline["batch_pointer_chase_kernel_speedup"]),
             "",
         )
     )
     return format_table(
         ["workload", "mechanism", "ops", "ref ops/s", "fast ops/s",
-         "speedup", "identical"],
+         "batch ops/s", "fast/ref", "batch/ref", "identical"],
         rows,
-        title="Engine kernel microbenchmark — fast vs reference",
+        title="Engine kernel microbenchmark — three-engine ladder",
     )
 
 
@@ -203,11 +262,13 @@ def bench_perf_kernel(benchmark, show):
     assert not payload["failures"]
     assert payload["headline"]["all_identical"]
     assert all(cell["speedup"] > 0 for cell in payload["cells"])
+    if "batch" in payload["engines"]:
+        assert all(cell["batch_speedup"] > 0 for cell in payload["cells"])
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="fast-vs-reference engine kernel microbenchmark"
+        description="three-engine kernel microbenchmark"
     )
     repo_root = Path(__file__).resolve().parent.parent
     parser.add_argument(

@@ -25,7 +25,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.config import SystemConfig
+from repro.core.config import ENGINES, SystemConfig
 from repro.cost.hardware import baseline_costs, proposal_cost
 from repro.errors import ReproError, UsageError
 from repro.experiments.configs import MECHANISMS, get_mechanism
@@ -70,6 +70,9 @@ from repro.workloads.registry import (
 
 def _config(args) -> SystemConfig:
     config = SystemConfig.paper() if args.paper else SystemConfig.scaled()
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        config = config.with_overrides(engine=engine)
     return config.validate()
 
 
@@ -472,6 +475,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the paper-scale Table 5 configuration")
         p.add_argument("--input-set", default="ref",
                        choices=["ref", "train", "test"])
+        p.add_argument("--engine", default=None, choices=list(ENGINES),
+                       help="simulation engine (default: the config's; "
+                            "'batch' needs the [perf] extra)")
         p.add_argument("--debug", action="store_true",
                        help="print full tracebacks instead of one-line errors")
 

@@ -1,13 +1,30 @@
-"""Kernel microbenchmark worker: fast engine vs reference engine.
+"""Kernel microbenchmark worker: the three-engine speedup ladder.
 
 One job cell = one (workload, mechanism, input set).  The worker runs the
-cell under *both* engines in the same process — pre-materializing the
-trace so only :meth:`Core.run` is timed — and returns JSON-safe metrics
-(ops/sec per engine, speedup, and whether the two engines produced
-bit-identical :class:`~repro.core.stats.CoreResult`\\ s).  Because the
-return value is a plain dict, the sweep engine's checkpoint journal can
-snapshot it unchanged, which gives the microbenchmark checkpoint-resume
-for free.
+cell under *every* available engine in the same process — pre-materializing
+the trace so only :meth:`Core.run` is timed — and returns JSON-safe
+metrics (ops/sec per engine, the speedup ladder, and whether all engines
+produced bit-identical :class:`~repro.core.stats.CoreResult`\\ s).
+Because the return value is a plain dict, the sweep engine's checkpoint
+journal can snapshot it unchanged, which gives the microbenchmark
+checkpoint-resume for free.
+
+Two measurement rules keep the ladder honest on noisy shared machines:
+
+* **Interleaved rounds.**  Engines take turns within each repetition
+  (A, B, C, A, B, C, ...) instead of running all of one engine's
+  repeats back to back, so a slow drift in machine speed lands on every
+  engine equally.
+* **Best-of (min over repeats).**  The minimum elapsed time per engine
+  is the run least disturbed by the scheduler; ratios of minima compare
+  like with like.
+
+The batch engine is timed on a pre-built :class:`TraceArrays` — the
+columnar decode is part of trace materialization, not simulation — but
+the decode cost is measured too and reported as ``batch_decode_seconds``
+so the end-to-end story stays visible.  Without numpy the batch column
+is skipped (reported as ``null``) and the ladder degrades to the
+fast-vs-reference pair.
 
 Lives in the library (not under ``benchmarks/``) because sweep-engine
 workers must be importable by qualified name from child processes.
@@ -23,7 +40,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.stats import CoreResult
@@ -37,6 +54,22 @@ REPEATS_ENV = "REPRO_KERNEL_REPEATS"
 
 #: default timed repetitions per engine (best-of, to shed scheduler noise)
 DEFAULT_REPEATS = 3
+
+
+def have_batch_engine() -> bool:
+    """Whether the optional numpy dependency (the [perf] extra) exists."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def measured_engines() -> Tuple[str, ...]:
+    """The engines this environment can actually time."""
+    if have_batch_engine():
+        return ("reference", "fast", "batch")
+    return ("reference", "fast")
 
 
 def op_budget() -> Optional[int]:
@@ -56,6 +89,25 @@ def repeats() -> int:
     return max(1, value)
 
 
+def _materialize(instance, budget: Optional[int], engine: str):
+    """The trace exactly as ``core.run`` wants it, plus decode seconds.
+
+    For the batch engine the list of ops is decoded into a columnar
+    :class:`TraceArrays` outside the timed region; the decode cost is
+    returned so callers can report it separately.
+    """
+    ops = list(instance.trace())
+    if budget is not None:
+        ops = ops[:budget]
+    if engine != "batch":
+        return ops, len(ops), None
+    from repro.core.tracefile import TraceArrays
+
+    start = time.perf_counter()
+    arrays = TraceArrays.from_ops(ops)
+    return arrays, len(ops), time.perf_counter() - start
+
+
 def time_engine(
     engine: str,
     benchmark: str,
@@ -70,7 +122,9 @@ def time_engine(
 
     The workload instance (and therefore the trace and simulated memory
     contents) is rebuilt per round — workload generation is
-    deterministic, so every round and both engines see identical input.
+    deterministic, so every round and every engine sees identical input.
+    Prefer :func:`time_engines` when comparing engines: it interleaves
+    rounds so machine-speed drift cannot favour one side.
     """
     mech = get_mechanism(mechanism)
     cfg = config.with_overrides(engine=engine)
@@ -80,26 +134,76 @@ def time_engine(
     n_ops = 0
     for __ in range(max(1, rounds)):
         instance = get_workload(benchmark).build(input_set)
-        ops = list(instance.trace())
-        if budget is not None:
-            ops = ops[:budget]
+        ops, n_ops, __decode = _materialize(instance, budget, engine)
         dram = make_dram(cfg, n_cores=1)
         core = build_core(mech, cfg, instance, dram, hint_filter)
         start = time.perf_counter()
         result = core.run(ops)
         elapsed = time.perf_counter() - start
-        n_ops = len(ops)
         if elapsed < best:
             best = elapsed
     return n_ops, max(best, 1e-9), result
 
 
+def time_engines(
+    engines: Sequence[str],
+    benchmark: str,
+    mechanism: str,
+    config: SystemConfig,
+    input_set: str = "train",
+    profile_input: str = "train",
+    budget: Optional[int] = None,
+    rounds: int = DEFAULT_REPEATS,
+) -> Dict[str, Dict[str, Any]]:
+    """Best-of timings for several engines, rounds interleaved.
+
+    Returns ``{engine: {"ops", "seconds", "decode_seconds", "result"}}``
+    where ``seconds`` is the minimum over *rounds* interleaved timed
+    runs and ``decode_seconds`` is the best columnar-decode time (None
+    for the scalar engines).
+    """
+    mech = get_mechanism(mechanism)
+    configs = {e: config.with_overrides(engine=e) for e in engines}
+    filters = {
+        e: hint_filter_for(mech, benchmark, configs[e], profile_input)
+        for e in engines
+    }
+    out: Dict[str, Dict[str, Any]] = {
+        e: {"ops": 0, "seconds": float("inf"), "decode_seconds": None,
+            "result": None}
+        for e in engines
+    }
+    for __ in range(max(1, rounds)):
+        for engine in engines:
+            cfg = configs[engine]
+            instance = get_workload(benchmark).build(input_set)
+            ops, n_ops, decode = _materialize(instance, budget, engine)
+            entry = out[engine]
+            entry["ops"] = n_ops
+            if decode is not None and (
+                entry["decode_seconds"] is None
+                or decode < entry["decode_seconds"]
+            ):
+                entry["decode_seconds"] = decode
+            dram = make_dram(cfg, n_cores=1)
+            core = build_core(mech, cfg, instance, dram, filters[engine])
+            start = time.perf_counter()
+            entry["result"] = core.run(ops)
+            elapsed = time.perf_counter() - start
+            if elapsed < entry["seconds"]:
+                entry["seconds"] = elapsed
+    for entry in out.values():
+        entry["seconds"] = max(entry["seconds"], 1e-9)
+    return out
+
+
 def kernel_bench_worker(job: Job) -> Dict[str, Any]:
-    """Sweep-engine worker: measure both engines on *job*'s cell."""
+    """Sweep-engine worker: measure every available engine on *job*'s cell."""
     budget = op_budget()
     rounds = repeats()
-    n_ops, ref_seconds, ref_result = time_engine(
-        "reference",
+    engines = measured_engines()
+    timings = time_engines(
+        engines,
         job.benchmark,
         job.mechanism,
         job.config,
@@ -108,23 +212,36 @@ def kernel_bench_worker(job: Job) -> Dict[str, Any]:
         budget=budget,
         rounds=rounds,
     )
-    __, fast_seconds, fast_result = time_engine(
-        "fast",
-        job.benchmark,
-        job.mechanism,
-        job.config,
-        input_set=job.input_set,
-        profile_input=job.profile_input,
-        budget=budget,
-        rounds=rounds,
-    )
-    return {
+    reference = timings["reference"]
+    fast = timings["fast"]
+    n_ops = reference["ops"]
+    results = [timings[e]["result"] for e in engines]
+    payload: Dict[str, Any] = {
         "ops": n_ops,
         "repeats": rounds,
-        "reference_seconds": ref_seconds,
-        "fast_seconds": fast_seconds,
-        "reference_ops_per_sec": n_ops / ref_seconds,
-        "fast_ops_per_sec": n_ops / fast_seconds,
-        "speedup": ref_seconds / fast_seconds,
-        "identical": ref_result == fast_result,
+        "engines": list(engines),
+        "reference_seconds": reference["seconds"],
+        "fast_seconds": fast["seconds"],
+        "reference_ops_per_sec": n_ops / reference["seconds"],
+        "fast_ops_per_sec": n_ops / fast["seconds"],
+        "speedup": reference["seconds"] / fast["seconds"],
+        "identical": all(r == results[0] for r in results[1:]),
     }
+    batch = timings.get("batch")
+    if batch is not None:
+        payload.update({
+            "batch_seconds": batch["seconds"],
+            "batch_decode_seconds": batch["decode_seconds"],
+            "batch_ops_per_sec": n_ops / batch["seconds"],
+            "batch_speedup": reference["seconds"] / batch["seconds"],
+            "batch_speedup_vs_fast": fast["seconds"] / batch["seconds"],
+        })
+    else:
+        payload.update({
+            "batch_seconds": None,
+            "batch_decode_seconds": None,
+            "batch_ops_per_sec": None,
+            "batch_speedup": None,
+            "batch_speedup_vs_fast": None,
+        })
+    return payload

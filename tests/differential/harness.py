@@ -1,4 +1,4 @@
-"""Harness: run one evaluation cell under both engines, capture everything.
+"""Harness: run one evaluation cell under every engine, capture everything.
 
 A *snapshot* is every externally observable statistic of one simulation:
 the :class:`~repro.core.stats.CoreResult` (cycles, IPC inputs, per-
@@ -9,10 +9,12 @@ throttling is attached — the full interval-by-interval throttle
 trajectory (case, action, coverage, accuracy, rival coverage per
 decision).
 
-``compare_engines`` produces the reference and fast snapshots for one
-(workload, mechanism, input set) cell; the tests assert field-by-field
-equality.  Floats are compared *exactly*: the fast engine claims the
-same arithmetic in the same order, so any drift is a bug, not noise.
+``compare_engines`` produces one snapshot per *available* engine for
+one (workload, mechanism, input set) cell — reference and fast always,
+batch when numpy (the [perf] extra) is importable — and the tests
+assert field-by-field equality via :func:`assert_identical`.  Floats
+are compared *exactly*: the optimized engines claim the same arithmetic
+in the same order, so any drift is a bug, not noise.
 """
 
 from __future__ import annotations
@@ -77,16 +79,25 @@ def capture(
     }
 
 
+def available_engines() -> Tuple[str, ...]:
+    """Every engine this environment can run (batch needs numpy)."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return tuple(e for e in ENGINES if e != "batch")
+    return tuple(ENGINES)
+
+
 def compare_engines(
     benchmark: str,
     mechanism: str,
     input_set: str = "test",
     config: Optional[SystemConfig] = None,
     profile_input: str = "train",
-) -> Tuple[Dict[str, Any], Dict[str, Any]]:
-    """(reference snapshot, fast snapshot) for one cell."""
+) -> Dict[str, Dict[str, Any]]:
+    """One snapshot per available engine for one cell, keyed by engine."""
     base = config or SystemConfig.scaled()
-    snapshots = {
+    return {
         engine: capture(
             benchmark,
             mechanism,
@@ -94,16 +105,20 @@ def compare_engines(
             input_set=input_set,
             profile_input=profile_input,
         )
-        for engine in ENGINES
+        for engine in available_engines()
     }
-    return snapshots["reference"], snapshots["fast"]
 
 
-def assert_identical(reference: Dict[str, Any], fast: Dict[str, Any]) -> None:
-    """Field-by-field equality with a readable failure per statistic."""
-    for key in reference:
-        assert fast[key] == reference[key], (
-            f"engines diverge on {key}:\n"
-            f"  reference: {reference[key]!r}\n"
-            f"  fast:      {fast[key]!r}"
-        )
+def assert_identical(snapshots: Dict[str, Dict[str, Any]]) -> None:
+    """Field-by-field equality of every engine against the reference,
+    with a readable failure naming the engine and the statistic."""
+    reference = snapshots["reference"]
+    for engine, snapshot in snapshots.items():
+        if engine == "reference":
+            continue
+        for key in reference:
+            assert snapshot[key] == reference[key], (
+                f"engine {engine!r} diverges on {key}:\n"
+                f"  reference: {reference[key]!r}\n"
+                f"  {engine}: {snapshot[key]!r}"
+            )

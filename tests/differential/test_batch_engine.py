@@ -1,0 +1,121 @@
+"""Batch-engine differentials beyond the shared matrix.
+
+Two properties the (workload x mechanism) matrix cannot see:
+
+* **Telemetry transparency.**  Attaching a telemetry stream (interval
+  series, optionally the event tracer) must not perturb the batch
+  engine's simulation, and the *recorded* series/trajectory/trace must
+  be bit-identical across all three engines — the batch engine
+  reconstructs interval state (MSHR occupancy, DRAM occupancy, derived
+  counters) at boundaries rather than maintaining it per op, and this
+  is where that reconstruction is observable.
+
+* **Chunk-split invariance.**  The batch engine vectorizes per-chunk
+  derivations (``chunk_ops`` ops at a time).  Results must not depend
+  on where chunk seams fall relative to interval boundaries, dependency
+  edges, or the trace end — a hypothesis sweep over arbitrary chunk
+  sizes must reproduce the fast engine's snapshot exactly.
+"""
+
+import pytest
+
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SystemConfig
+from repro.core.tracefile import TraceArrays
+from repro.experiments.configs import get_mechanism
+from repro.experiments.runner import build_core, hint_filter_for, make_dram
+from repro.telemetry.session import Telemetry, TelemetryConfig
+from repro.workloads.registry import get_workload
+from tests.differential.harness import capture
+
+np = pytest.importorskip("numpy")
+
+#: small caches + short intervals: several boundaries inside one run
+SMALL = SystemConfig.scaled().with_overrides(
+    l2_size=4096, interval_evictions=64
+)
+
+ENGINES = ("reference", "fast", "batch")
+
+
+@pytest.mark.parametrize("trace_on", [False, True])
+@pytest.mark.parametrize(
+    "workload,mechanism",
+    [("mst", "no-prefetch"), ("mst", "ecdp+throttle")],
+)
+def test_telemetry_runs_identical(workload, mechanism, trace_on):
+    probes = {}
+    for engine in ENGINES:
+        session = Telemetry(TelemetryConfig(series=True, trace=trace_on))
+        stream = session.stream("core0")
+        snapshot = capture(
+            workload,
+            mechanism,
+            SMALL.with_overrides(engine=engine),
+            telemetry=stream,
+        )
+        probes[engine] = {
+            "snapshot": snapshot,
+            "samples": stream.series.samples,
+            "trajectory": stream.series.trajectory,
+            "trace": stream.tracer.snapshot() if trace_on else None,
+        }
+    reference = probes["reference"]
+    assert reference["samples"], "expected at least one interval sample"
+    for engine in ("fast", "batch"):
+        for key, expected in reference.items():
+            assert probes[engine][key] == expected, (
+                f"engine {engine!r} diverges on telemetry {key}"
+            )
+
+
+def _run_batch(config: SystemConfig, arrays: TraceArrays, chunk_ops: int):
+    """One batch run of *arrays* with an explicit chunk size."""
+    mech = get_mechanism("no-prefetch")
+    cfg = config.with_overrides(engine="batch")
+    instance = get_workload("mst").build("train")
+    dram = make_dram(cfg, n_cores=1)
+    core = build_core(
+        mech, cfg, instance, dram, hint_filter_for(mech, "mst", cfg, "train")
+    )
+    core.chunk_ops = chunk_ops
+    result = core.run(arrays)
+    return result, core.l1.stats, core.l2.stats, dram.stats
+
+
+class TestChunkSplitInvariance:
+    config = SystemConfig.scaled().with_overrides(
+        l2_size=8192, interval_evictions=32
+    )
+
+    @classmethod
+    def expected(cls):
+        if not hasattr(cls, "_expected"):
+            mech = get_mechanism("no-prefetch")
+            cfg = cls.config.with_overrides(engine="fast")
+            instance = get_workload("mst").build("train")
+            ops = list(instance.trace())
+            dram = make_dram(cfg, n_cores=1)
+            core = build_core(
+                mech, cfg, instance, dram,
+                hint_filter_for(mech, "mst", cfg, "train"),
+            )
+            result = core.run(ops)
+            cls._arrays = TraceArrays.from_ops(ops)
+            cls._expected = (result, core.l1.stats, core.l2.stats, dram.stats)
+        return cls._arrays, cls._expected
+
+    @given(chunk_ops=st.integers(min_value=1, max_value=1 << 17))
+    @example(chunk_ops=1)
+    @example(chunk_ops=17)
+    @example(chunk_ops=1 << 16)
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_any_chunk_size_matches_fast_engine(self, chunk_ops):
+        arrays, expected = self.expected()
+        assert _run_batch(self.config, arrays, chunk_ops) == expected

@@ -1,12 +1,13 @@
-"""The differential matrix: fast engine == reference engine, exactly.
+"""The differential matrix: every engine == reference engine, exactly.
 
-Every cell of (workload x mechanism) runs under both engines on the
-``test`` input set and must produce identical CoreResults, cache / DRAM
-/ queue counters, final aggressiveness levels, and (where coordinated
-throttling is attached) identical interval-by-interval throttle
-trajectories.  Mechanisms are chosen to cover every fast-path branch:
-the raw kernel, stream training, CDP scans + recursive deferred scans,
-compiler hints, and all three throttling modes.
+Every cell of (workload x mechanism) runs under every available engine
+— reference, fast, and (with numpy) batch — on the ``test`` input set
+and must produce identical CoreResults, cache / DRAM / queue counters,
+final aggressiveness levels, and (where coordinated throttling is
+attached) identical interval-by-interval throttle trajectories.
+Mechanisms are chosen to cover every optimized-path branch: the raw
+kernel, stream training, CDP scans + recursive deferred scans, compiler
+hints, and all three throttling modes.
 """
 
 import pytest
@@ -15,6 +16,7 @@ from repro.core.config import SystemConfig
 from repro.experiments.runner import run_benchmark
 from tests.differential.harness import (
     assert_identical,
+    available_engines,
     capture,
     compare_engines,
 )
@@ -35,8 +37,7 @@ MECHANISMS = [
 @pytest.mark.parametrize("mechanism", MECHANISMS)
 @pytest.mark.parametrize("workload", WORKLOADS)
 def test_engines_bit_identical(workload, mechanism):
-    reference, fast = compare_engines(workload, mechanism)
-    assert_identical(reference, fast)
+    assert_identical(compare_engines(workload, mechanism))
 
 
 def test_throttle_trajectory_is_exercised_and_identical():
@@ -45,23 +46,22 @@ def test_throttle_trajectory_is_exercised_and_identical():
     config = SystemConfig.scaled().with_overrides(
         l2_size=8192, interval_evictions=32
     )
-    reference, fast = compare_engines(
-        "mst", "ecdp+throttle", config=config
+    snapshots = compare_engines("mst", "ecdp+throttle", config=config)
+    assert snapshots["reference"]["throttle"], (
+        "expected at least one throttle interval"
     )
-    assert reference["throttle"], "expected at least one throttle interval"
-    assert_identical(reference, fast)
+    assert_identical(snapshots)
 
 
 def test_oracle_and_hw_filter_paths_identical():
     """Cover the oracle-LDS fast path and the hardware prefetch filter."""
     for mechanism in ("oracle-lds", "hwfilter+throttle"):
-        reference, fast = compare_engines("mst", mechanism)
-        assert_identical(reference, fast)
+        assert_identical(compare_engines("mst", mechanism))
 
 
 def test_run_benchmark_respects_engine_field():
     """The public runner entry selects the engine from the config and
-    both engines agree through it (memoization keys must not mix)."""
+    all engines agree through it (memoization keys must not mix)."""
     results = {
         engine: run_benchmark(
             "mst",
@@ -70,9 +70,10 @@ def test_run_benchmark_respects_engine_field():
             input_set="test",
             use_cache=False,
         )
-        for engine in ("reference", "fast")
+        for engine in available_engines()
     }
-    assert results["reference"] == results["fast"]
+    reference = results["reference"]
+    assert all(result == reference for result in results.values())
 
 
 def test_capture_reports_nonzero_activity():

@@ -1,0 +1,148 @@
+"""Unit tests for the batch engine's plumbing.
+
+Covers the columnar trace decoder (:class:`TraceArrays` and
+:func:`load_trace_arrays`), engine selection/validation for
+``engine="batch"``, and the structured :class:`ConfigError` raised when
+the optional numpy dependency (the [perf] extra) is missing.
+"""
+
+import builtins
+import sys
+
+import pytest
+
+from repro.core.config import ENGINES, SystemConfig
+from repro.core.instruction import MemOp
+from repro.core.tracefile import save_trace
+from repro.errors import ConfigError, TraceFormatError
+from repro.experiments.runner import core_class_for
+from repro.workloads.registry import get_workload
+
+
+def sample_trace():
+    return [
+        MemOp(0x400000, 0x1000_0000, True, 5, -1),
+        MemOp(0x400004, 0x1000_0040, False, 0, -1),
+        MemOp(0x400008, 0x2000_0000, True, 12, 0),
+        MemOp(0x40000C, 0xFFFF_FFFC, True, 0, 2),
+    ]
+
+
+class TestTraceArrays:
+    @pytest.fixture(autouse=True)
+    def _require_numpy(self):
+        pytest.importorskip("numpy")
+
+    def test_from_ops_round_trip(self):
+        ops = sample_trace()
+        from repro.core.tracefile import TraceArrays
+
+        arrays = TraceArrays.from_ops(ops)
+        assert len(arrays) == len(ops)
+        assert list(arrays) == ops
+
+    def test_from_ops_accepts_iterator(self):
+        from repro.core.tracefile import TraceArrays
+
+        arrays = TraceArrays.from_ops(iter(sample_trace()))
+        assert list(arrays) == sample_trace()
+
+    def test_empty(self):
+        from repro.core.tracefile import TraceArrays
+
+        arrays = TraceArrays.from_ops([])
+        assert len(arrays) == 0
+        assert list(arrays) == []
+
+    def test_mismatched_columns_rejected(self):
+        import numpy as np
+
+        from repro.core.tracefile import TraceArrays
+
+        with pytest.raises(ValueError, match="equal length"):
+            TraceArrays(
+                np.zeros(2, np.int64),
+                np.zeros(3, np.int64),
+                np.zeros(2, np.bool_),
+                np.zeros(2, np.int64),
+                np.zeros(2, np.int64),
+            )
+
+    def test_load_trace_arrays_matches_streaming_loader(self, tmp_path):
+        from repro.core.tracefile import load_trace, load_trace_arrays
+
+        instance = get_workload("mst").build("test")
+        original = list(instance.trace())
+        path = tmp_path / "mst.trace"
+        save_trace(path, original)
+        assert list(load_trace_arrays(path)) == list(load_trace(path))
+
+    def test_load_trace_arrays_bad_magic(self, tmp_path):
+        from repro.core.tracefile import load_trace_arrays
+
+        path = tmp_path / "bad.trace"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            load_trace_arrays(path)
+
+    def test_load_trace_arrays_truncated(self, tmp_path):
+        from repro.core.tracefile import load_trace_arrays
+
+        path = tmp_path / "t.trace"
+        save_trace(path, sample_trace())
+        path.write_bytes(path.read_bytes()[:-3])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace_arrays(path)
+
+    def test_load_trace_arrays_lenient_salvages_prefix(self, tmp_path):
+        from repro.core.tracefile import load_trace_arrays
+
+        path = tmp_path / "t.trace"
+        save_trace(path, sample_trace())
+        path.write_bytes(path.read_bytes()[:-3])
+        with pytest.warns(UserWarning, match="dropping corrupt tail"):
+            arrays = load_trace_arrays(path, strict=False)
+        assert list(arrays) == sample_trace()[:-1]
+
+
+class TestEngineSelection:
+    def test_batch_is_a_registered_engine(self):
+        assert "batch" in ENGINES
+        config = SystemConfig.scaled().with_overrides(engine="batch")
+        config.validate()  # must not raise
+
+    def test_unknown_engine_rejected(self):
+        config = SystemConfig.scaled().with_overrides(engine="warp")
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_core_class_for_batch(self):
+        pytest.importorskip("numpy")
+        from repro.core.batchcpu import BatchCore
+
+        config = SystemConfig.scaled().with_overrides(engine="batch")
+        assert core_class_for(config) is BatchCore
+
+    def test_batch_without_numpy_raises_structured_error(self, monkeypatch):
+        """Simulate a numpy-less install: importing numpy (and therefore
+        the batchcpu module) fails, and engine="batch" must surface a
+        ConfigError that names the [perf] extra — not an ImportError."""
+        for name in list(sys.modules):
+            if name == "numpy" or name.startswith("numpy."):
+                monkeypatch.delitem(sys.modules, name)
+        monkeypatch.delitem(
+            sys.modules, "repro.core.batchcpu", raising=False
+        )
+        real_import = builtins.__import__
+
+        def no_numpy(name, *args, **kwargs):
+            if name == "numpy" or name.startswith("numpy."):
+                raise ImportError(f"No module named {name!r}")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_numpy)
+        config = SystemConfig.scaled().with_overrides(engine="batch")
+        with pytest.raises(ConfigError) as excinfo:
+            core_class_for(config)
+        assert "numpy" in str(excinfo.value)
+        assert "perf" in excinfo.value.fields.get("engine", "")
