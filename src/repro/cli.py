@@ -10,17 +10,22 @@ Examples::
     python -m repro profile mst --top 12
     python -m repro multicore xalancbmk astar --mechanism ecdp+throttle
     python -m repro trace mst ecdp+throttle --format chrome --out trace.json
+    python -m repro sweep --inject-faults plan.json --resume
+    python -m repro journal verify .repro-checkpoints/sweep-abc.jsonl
     python -m repro cost
 
 Exit codes: 0 — success; 1 — the sweep completed but some jobs failed
 (partial results were reported and checkpointed); 2 — usage or
-configuration error (unknown benchmark/mechanism, invalid config).
+configuration error (unknown benchmark/mechanism, invalid config);
+130 — the sweep was interrupted (SIGTERM/SIGINT drain or an injected
+abort) after checkpointing in-flight work; rerun with ``--resume``.
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -33,8 +38,13 @@ from repro.experiments.engine import (
     CheckpointJournal,
     ExecutionEngine,
     FailedResult,
+    FaultPlan,
+    GracefulDrain,
     Job,
+    JobFailure,
+    QuarantinePolicy,
     RetryPolicy,
+    WatchdogPolicy,
     is_failed,
 )
 from repro.experiments.metrics import (
@@ -51,6 +61,7 @@ from repro.experiments.runner import (
     run_multicore,
 )
 from repro.telemetry import (
+    EventTracer,
     Telemetry,
     TelemetryConfig,
     series_path,
@@ -183,6 +194,12 @@ def cmd_sweep(args) -> int:
         problems["--timeout"] = f"must be positive, got {args.timeout}"
     if args.retries < 0:
         problems["--retries"] = f"must be >= 0, got {args.retries}"
+    if args.no_progress_timeout is not None and args.no_progress_timeout <= 0:
+        problems["--no-progress-timeout"] = (
+            f"must be positive, got {args.no_progress_timeout}"
+        )
+    if args.max_crashes < 0:
+        problems["--max-crashes"] = f"must be >= 0, got {args.max_crashes}"
     if problems:
         details = "; ".join(f"{k}: {v}" for k, v in sorted(problems.items()))
         raise UsageError(f"invalid sweep options: {details}")
@@ -207,11 +224,29 @@ def cmd_sweep(args) -> int:
         telemetry_dir = str(
             Path(args.checkpoint_dir) / f"{sweep_name}-series"
         )
+    fault_plan = None
+    if args.inject_faults:
+        fault_plan = FaultPlan.load(args.inject_faults)
+        print(
+            f"chaos: injecting {len(fault_plan)} fault(s) "
+            f"from {args.inject_faults}",
+            file=sys.stderr,
+        )
+    watchdog = None
+    if args.no_progress_timeout is not None:
+        watchdog = WatchdogPolicy(
+            no_progress_timeout=args.no_progress_timeout
+        )
+    tracer = EventTracer() if args.telemetry else None
     engine = ExecutionEngine(
         jobs=args.jobs,
         timeout=args.timeout,
         retry=RetryPolicy(max_attempts=args.retries + 1),
         checkpoint=journal,
+        watchdog=watchdog,
+        quarantine=QuarantinePolicy(max_crashes=args.max_crashes),
+        fault_plan=fault_plan,
+        tracer=tracer,
     )
     jobs = [
         Job(benchmark, mechanism, config, input_set=args.input_set,
@@ -232,14 +267,33 @@ def cmd_sweep(args) -> int:
             file=sys.stderr,
         )
 
-    report = engine.run(jobs, resume=args.resume, progress=progress)
+    with GracefulDrain() as drain:
+        report = engine.run(
+            jobs,
+            resume=args.resume,
+            progress=progress,
+            drain=drain,
+            retry_poisoned=args.retry_poisoned,
+        )
     cells = report.by_cell()
+    _not_run = JobFailure(
+        "NotRun", "sweep interrupted before this cell ran", transient=True
+    )
 
     def result_of(benchmark: str, mechanism: str):
-        outcome = cells[(benchmark, mechanism)]
+        outcome = cells.get((benchmark, mechanism))
+        if outcome is None:  # abandoned by a drain/abort before launch
+            return FailedResult(_not_run)
         return (
             outcome.result if outcome.ok else FailedResult(outcome.failure)
         )
+
+    def cell_retry_schedule(benchmark: str, mechanism: str):
+        """(attempts, backoff seconds) for the export row, or nulls."""
+        outcome = cells.get((benchmark, mechanism))
+        if outcome is None:
+            return None, None
+        return outcome.attempts, round(outcome.backoff_total, 6)
 
     def cell_series_file(benchmark: str, mechanism: str):
         """Recompute the worker's deterministic series path (if recorded)."""
@@ -255,15 +309,19 @@ def cmd_sweep(args) -> int:
     for bench in benchmarks:
         cells_row = [bench]
         base = baselines[bench]
+        attempts, backoff = cell_retry_schedule(bench, "baseline")
         export_records.append(result_record(
             bench, "baseline", base,
             series_file=cell_series_file(bench, "baseline"),
+            attempts=attempts, backoff_seconds=backoff,
         ))
         for mechanism in mechanisms:
             result = result_of(bench, mechanism)
+            attempts, backoff = cell_retry_schedule(bench, mechanism)
             export_records.append(result_record(
                 bench, mechanism, result,
                 series_file=cell_series_file(bench, mechanism),
+                attempts=attempts, backoff_seconds=backoff,
             ))
             if is_failed(result) or is_failed(base):
                 cells_row.append(str(result if is_failed(result) else base))
@@ -298,10 +356,45 @@ def cmd_sweep(args) -> int:
         f"{len(report.failures)} failed, {len(report.resumed)} resumed "
         f"(checkpoint: {journal.path})"
     )
-    for failure in report.failures:
+    if report.salvage is not None and not report.salvage.clean:
         print(
-            f"FAILED {failure.job.label}: {failure.failure.reason} "
-            f"({failure.attempts} attempt(s))",
+            f"journal salvage: {report.salvage.summary()} — skipped "
+            "records re-ran this pass",
+            file=sys.stderr,
+        )
+    if report.journal_errors:
+        print(
+            f"WARNING: {report.journal_errors} checkpoint write(s) failed; "
+            "those cells will re-run on --resume",
+            file=sys.stderr,
+        )
+    for failure in report.failures:
+        quarantined = failure.failure.poison
+        label = "QUARANTINED" if quarantined else "FAILED"
+        hint = " (re-admit with --retry-poisoned)" if quarantined else ""
+        print(
+            f"{label} {failure.job.label}: {failure.failure.reason} "
+            f"({failure.attempts} attempt(s), "
+            f"{failure.backoff_total:.1f}s backoff){hint}",
+            file=sys.stderr,
+        )
+    if tracer is not None and tracer.appended:
+        events_path = (
+            Path(args.checkpoint_dir) / f"{sweep_name}-engine.events.jsonl"
+        )
+        events_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(events_path, "w") as stream:
+            for ts, kind, name, addr, dur, ev_args in tracer.snapshot():
+                stream.write(json.dumps(
+                    {"core": "engine", "ts": ts, "kind": kind, "name": name,
+                     "addr": addr, "dur": dur, "args": ev_args},
+                    sort_keys=True,
+                ) + "\n")
+        print(f"wrote {tracer.appended} engine events to {events_path}")
+    if report.interrupted:
+        print(
+            "sweep interrupted — in-flight work was checkpointed; "
+            "rerun with --resume to finish",
             file=sys.stderr,
         )
     if args.export:
@@ -311,6 +404,41 @@ def cmd_sweep(args) -> int:
             write_csv(args.export, export_records)
         print(f"wrote {len(export_records)} records to {args.export}")
     return report.exit_code
+
+
+def _journal_at(path: str) -> CheckpointJournal:
+    journal = CheckpointJournal(path)
+    if not journal.exists():
+        raise UsageError(f"no checkpoint journal at {path}")
+    return journal
+
+
+def cmd_journal_verify(args) -> int:
+    """Integrity-check a journal; exit 1 if any line failed to load."""
+    journal = _journal_at(args.path)
+    salvage = journal.verify()
+    print(f"{args.path}: {salvage.summary()}")
+    if salvage.bad_lines:
+        where = ", ".join(str(n) for n in salvage.bad_lines)
+        print(f"bad line(s): {where}", file=sys.stderr)
+    if not salvage.clean:
+        print(
+            "damaged records will re-run on --resume; "
+            "'repro journal compact' rewrites the file without them",
+            file=sys.stderr,
+        )
+    return 0 if salvage.clean else 1
+
+
+def cmd_journal_compact(args) -> int:
+    """Rewrite a journal to one checksummed record per job."""
+    journal = _journal_at(args.path)
+    kept, dropped, salvage = journal.compact()
+    print(
+        f"{args.path}: kept {kept} record(s), dropped {dropped} line(s) "
+        f"({salvage.summary()})"
+    )
+    return 0
 
 
 def cmd_profile(args) -> int:
@@ -525,9 +653,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", action="store_true",
                    help="record per-interval telemetry series for every "
                         "cell (written beside the checkpoint journal; "
-                        "export rows gain a series_file pointer)")
+                        "export rows gain a series_file pointer) plus the "
+                        "engine's own retry/quarantine/watchdog event "
+                        "trace (<sweep>-engine.events.jsonl)")
+    p.add_argument("--no-progress-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="watchdog: kill a worker that sends no heartbeat "
+                        "for this long (distinguishes hung workers from "
+                        "slow ones; default: off)")
+    p.add_argument("--max-crashes", type=int, default=3, metavar="N",
+                   help="quarantine a job after it crashes its worker N "
+                        "times, counted across resumes (0 disables; "
+                        "default 3)")
+    p.add_argument("--retry-poisoned", action="store_true",
+                   help="re-admit quarantined jobs with a fresh crash "
+                        "budget (use with --resume)")
+    p.add_argument("--inject-faults", metavar="PLAN.json", default=None,
+                   help="chaos testing: deterministically inject the "
+                        "worker/journal/engine faults described in "
+                        "PLAN.json (see FaultPlan)")
     common(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "journal",
+        help="inspect or repair a sweep checkpoint journal",
+    )
+    jsub = p.add_subparsers(dest="action", required=True)
+    jp = jsub.add_parser(
+        "verify",
+        help="integrity-check every record without modifying the file",
+    )
+    jp.add_argument("path", help="journal file (.repro-checkpoints/*.jsonl)")
+    jp.set_defaults(func=cmd_journal_verify)
+    jp = jsub.add_parser(
+        "compact",
+        help="atomically rewrite to one checksummed record per job, "
+             "dropping damage and superseded retries",
+    )
+    jp.add_argument("path", help="journal file (.repro-checkpoints/*.jsonl)")
+    jp.set_defaults(func=cmd_journal_compact)
 
     p = sub.add_parser("profile", help="show a benchmark's pointer groups")
     p.add_argument("benchmark")

@@ -107,8 +107,53 @@ class WorkerCrashError(JobError):
     transient = True
 
 
+class WorkerStalledError(JobError):
+    """A worker stopped heartbeating and was killed by the watchdog.
+
+    Distinct from :class:`JobTimeoutError`: the watchdog fires on *lack of
+    progress* (no heartbeat for ``no_progress_timeout`` seconds), not on
+    total wall-clock — a slow-but-alive worker keeps its heartbeats
+    flowing and is never stalled.
+    """
+
+    transient = True
+
+
+class PoisonJobError(JobError):
+    """A job crashed its worker so many times it was quarantined.
+
+    Deliberately *not* transient: a job that reproducibly takes down its
+    worker process is journaled ``FAILED`` with a poison flag and excluded
+    from resume retries, so a crashing cell cannot burn the retry budget
+    on every ``--resume`` of a long sweep.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint journal could not be read or written."""
+
+
+class JournalCorruptionError(CheckpointError):
+    """A checkpoint journal failed integrity verification.
+
+    Raised by ``repro journal verify`` surfaces; the resume path never
+    raises this — it salvages intact records and reports the damage.
+    """
+
+
+class FaultPlanError(UsageError):
+    """A fault-injection plan is malformed (unknown kind, bad coordinates)."""
+
+
+class SweepInterrupted(ReproError):
+    """A sweep stopped before finishing (signal drain or injected abort).
+
+    Carries the completed-prefix invariant: every job settled before the
+    interruption is already in the checkpoint journal, so ``--resume``
+    continues exactly where the sweep stopped.
+    """
+
+    exit_code = 130
 
 
 def is_transient(error: BaseException) -> bool:

@@ -10,7 +10,17 @@ this package executes that matrix the way a production sweep must run:
   policy for transient failures;
 * a JSONL checkpoint journal written after every job, so an interrupted
   sweep resumes with only the missing jobs (keyed by a content hash of
-  the job's benchmark, mechanism, and full config);
+  the job's benchmark, mechanism, and full config); records are
+  CRC32-framed and a damaged journal — torn writes, mid-file bit rot —
+  salvages instead of poisoning the resume;
+* a heartbeat watchdog (:class:`WatchdogPolicy`) that tells hung workers
+  from slow ones, poison-job quarantine (:class:`QuarantinePolicy`) for
+  jobs that keep killing their worker, and graceful SIGTERM/SIGINT
+  drain (:class:`GracefulDrain`) that checkpoints in-flight work;
+* deterministic fault injection (:class:`FaultPlan`) to attack all of
+  the above on purpose — the chaos suite proves every fault in the
+  catalog converges back to a bit-identical result set under
+  ``--resume``;
 * a :class:`SweepReport` that downstream reporting renders with explicit
   ``FAILED(reason)`` cells instead of crashing.
 
@@ -29,8 +39,17 @@ Quick tour::
         print(failure.job.label, failure.failure.reason)
 """
 
-from repro.experiments.engine.checkpoint import CheckpointJournal
+from repro.experiments.engine.checkpoint import (
+    CheckpointJournal,
+    JournalSalvage,
+    record_content_hash,
+)
 from repro.experiments.engine.executor import ExecutionEngine, SweepReport
+from repro.experiments.engine.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.experiments.engine.job import (
     FailedResult,
     Job,
@@ -40,20 +59,29 @@ from repro.experiments.engine.job import (
     is_failed,
     snapshot_metrics,
 )
-from repro.experiments.engine.retry import RetryPolicy
+from repro.experiments.engine.retry import QuarantinePolicy, RetryPolicy
+from repro.experiments.engine.supervise import GracefulDrain, WatchdogPolicy
 from repro.experiments.engine.worker import default_worker
 
 __all__ = [
     "CheckpointJournal",
     "ExecutionEngine",
+    "FAULT_KINDS",
     "FailedResult",
+    "FaultPlan",
+    "FaultSpec",
+    "GracefulDrain",
     "Job",
     "JobFailure",
     "JobResult",
+    "JournalSalvage",
+    "QuarantinePolicy",
     "ResultSnapshot",
     "RetryPolicy",
     "SweepReport",
+    "WatchdogPolicy",
     "default_worker",
     "is_failed",
+    "record_content_hash",
     "snapshot_metrics",
 ]

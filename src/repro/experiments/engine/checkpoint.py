@@ -4,19 +4,34 @@ One JSON record per completed job, appended (single ``write`` + flush +
 fsync, so a crash mid-sweep loses at most the in-flight line) to
 ``.repro-checkpoints/<sweep>.jsonl``.  Records are keyed by the job's
 content hash, so resuming recognises completed work even across process
-restarts and reordered job lists.  A corrupt trailing line — the telltale
-of a sweep killed mid-write — is skipped with a warning rather than
-poisoning the resume.
+restarts and reordered job lists.
+
+Integrity framing (v2): each line is ``{"crc": "<crc32 hex>", "data":
+{...record...}}`` with the checksum taken over the canonical encoding of
+``data``.  Loading salvages everything the damage spared: a torn or
+bit-flipped line *anywhere* in the file — not just the trailing line a
+mid-write kill produces — is skipped, counted, and reported in a
+:class:`JournalSalvage`, never allowed to poison the resume.  Unframed
+v1 lines (pre-CRC journals) still load, flagged as legacy.
+
+``verify`` re-checks every line without touching the file; ``compact``
+atomically rewrites the journal to one checksummed record per key (last
+outcome wins), dropping damage and superseded retries.  Both are exposed
+as ``repro journal`` subcommands.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
+import tempfile
 import warnings
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import CheckpointError
 from repro.experiments.engine.job import JobResult, snapshot_metrics
@@ -25,6 +40,81 @@ PathLike = Union[str, Path]
 
 #: default directory for sweep journals, relative to the working directory
 DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
+
+#: record fields that legitimately differ between two runs of the same
+#: job (wall-clock, retry history); everything else is *content* — the
+#: chaos convergence property compares records with these removed
+VOLATILE_FIELDS = ("duration", "attempts", "backoff_seconds", "crashes")
+
+#: cap on per-line diagnostics retained by a salvage report
+_MAX_BAD_LINES = 32
+
+
+def _canonical(data: dict) -> bytes:
+    """The byte string the CRC is computed over (stable across loads)."""
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), default=repr
+    ).encode("utf-8")
+
+
+def frame_record(data: dict) -> str:
+    """Encode one journal line: CRC32-framed canonical JSON."""
+    payload = _canonical(data)
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return '{"crc":"%08x","data":%s}\n' % (crc, payload.decode("utf-8"))
+
+
+def record_content_hash(record: dict) -> str:
+    """Content hash of a journal record, ignoring volatile fields.
+
+    Two runs that produced the same outcome for the same job — whatever
+    faults, retries, or resumes happened along the way — hash equal.
+    This is the equality the chaos differential suite asserts.
+    """
+    content = {
+        key: value
+        for key, value in record.items()
+        if key not in VOLATILE_FIELDS
+    }
+    return hashlib.sha256(_canonical(content)).hexdigest()[:16]
+
+
+@dataclass
+class JournalSalvage:
+    """What a journal load found, kept, and had to skip."""
+
+    lines: int = 0  #: non-blank lines examined
+    records: int = 0  #: records accepted (framed + legacy)
+    legacy: int = 0  #: accepted v1 lines with no checksum to verify
+    corrupt: int = 0  #: undecodable lines skipped (torn writes, garbage)
+    crc_mismatch: int = 0  #: framed lines whose checksum failed
+    duplicates: int = 0  #: accepted records superseded by a later line
+    #: line numbers of skipped lines (first _MAX_BAD_LINES)
+    bad_lines: List[int] = field(default_factory=list)
+
+    @property
+    def skipped(self) -> int:
+        return self.corrupt + self.crc_mismatch
+
+    @property
+    def clean(self) -> bool:
+        return self.skipped == 0
+
+    def note_bad(self, line_number: int) -> None:
+        if len(self.bad_lines) < _MAX_BAD_LINES:
+            self.bad_lines.append(line_number)
+
+    def summary(self) -> str:
+        parts = [f"{self.records} record(s)"]
+        if self.legacy:
+            parts.append(f"{self.legacy} legacy (unchecksummed)")
+        if self.duplicates:
+            parts.append(f"{self.duplicates} superseded")
+        if self.corrupt:
+            parts.append(f"{self.corrupt} corrupt skipped")
+        if self.crc_mismatch:
+            parts.append(f"{self.crc_mismatch} checksum-mismatch skipped")
+        return ", ".join(parts)
 
 
 class CheckpointJournal:
@@ -55,35 +145,145 @@ class CheckpointJournal:
                 f"cannot clear checkpoint {self.path}: {error}"
             ) from error
 
-    def load(self) -> Dict[str, dict]:
-        """Map job key -> last recorded outcome; {} if no journal yet."""
-        if not self.path.exists():
-            return {}
-        records: Dict[str, dict] = {}
+    # -- reading -----------------------------------------------------------
+
+    def _parse_line(
+        self, line: str, line_number: int, salvage: JournalSalvage
+    ) -> Optional[dict]:
+        """One accepted record, or None (damage already counted)."""
         try:
-            raw = self.path.read_text()
+            parsed = json.loads(line)
+        except ValueError:
+            salvage.corrupt += 1
+            salvage.note_bad(line_number)
+            return None
+        if not isinstance(parsed, dict):
+            salvage.corrupt += 1
+            salvage.note_bad(line_number)
+            return None
+        if set(parsed) == {"crc", "data"}:  # v2 framed line
+            data = self._verify_framed(parsed)
+            if data is None:
+                salvage.crc_mismatch += 1
+                salvage.note_bad(line_number)
+            return data
+        if "key" in parsed:  # v1 legacy line: accepted, unverifiable
+            salvage.legacy += 1
+            return parsed
+        salvage.corrupt += 1
+        salvage.note_bad(line_number)
+        return None
+
+    @staticmethod
+    def _salvage_tail(line: str) -> Optional[dict]:
+        """Recover a framed record embedded after damage on one line.
+
+        A torn write loses its newline too, so the *next* record — a
+        perfectly good one — lands on the same physical line as the torn
+        prefix.  Scan for a framed-record start past position 0 and
+        verify it; the CRC makes a false positive vanishingly unlikely.
+        """
+        start = 0
+        while True:
+            start = line.find('{"crc":"', start + 1)
+            if start < 0:
+                return None
+            candidate = line[start:]
+            try:
+                parsed = json.loads(candidate)
+            except ValueError:
+                continue
+            if not isinstance(parsed, dict):
+                continue
+            data = CheckpointJournal._verify_framed(parsed)
+            if data is not None:
+                return data
+
+    @staticmethod
+    def _verify_framed(parsed: dict) -> Optional[dict]:
+        """The verified ``data`` of a v2 framed object, else None."""
+        if set(parsed) != {"crc", "data"}:
+            return None
+        data = parsed["data"]
+        try:
+            stated = int(str(parsed["crc"]), 16)
+        except ValueError:
+            return None
+        if (
+            isinstance(data, dict)
+            and "key" in data
+            and zlib.crc32(_canonical(data)) & 0xFFFFFFFF == stated
+        ):
+            return data
+        return None
+
+    def load_with_stats(self) -> Tuple[Dict[str, dict], JournalSalvage]:
+        """(key -> last recorded outcome, salvage report).
+
+        Never raises for damage *inside* the file: corrupt interior
+        lines — not just the trailing torn write — are skipped, counted
+        in the salvage report, and summarized in one warning.
+        """
+        salvage = JournalSalvage()
+        if not self.path.exists():
+            return {}, salvage
+        try:
+            raw = self.path.read_text(errors="replace")
         except OSError as error:
             raise CheckpointError(
                 f"cannot read checkpoint {self.path}: {error}"
             ) from error
+        records: Dict[str, dict] = {}
         for line_number, line in enumerate(raw.splitlines(), 1):
             line = line.strip()
             if not line:
                 continue
-            try:
-                record = json.loads(line)
-                key = record["key"]
-            except (ValueError, KeyError, TypeError):
-                warnings.warn(
-                    f"{self.path}:{line_number}: skipping corrupt "
-                    "checkpoint record (interrupted write?)"
-                )
-                continue
-            records[key] = record
+            salvage.lines += 1
+            data = self._parse_line(line, line_number, salvage)
+            if data is None:
+                # a torn write eats its newline, merging the *next*
+                # (intact) record onto this damaged line — dig it out
+                data = self._salvage_tail(line)
+                if data is None:
+                    continue
+            if data["key"] in records:
+                salvage.duplicates += 1
+            records[data["key"]] = data
+            salvage.records += 1
+        if not salvage.clean:
+            where = ",".join(str(n) for n in salvage.bad_lines)
+            warnings.warn(
+                f"{self.path}: salvaged corrupt checkpoint journal "
+                f"({salvage.summary()}; bad line(s) {where}) — skipped "
+                "records will re-run on resume"
+            )
+        return records, salvage
+
+    def load(self) -> Dict[str, dict]:
+        """Map job key -> last recorded outcome; {} if no journal yet."""
+        records, _ = self.load_with_stats()
         return records
 
-    def record(self, outcome: JobResult) -> None:
-        """Append one job outcome; atomic at line granularity."""
+    def verify(self) -> JournalSalvage:
+        """Integrity-check every line without modifying anything."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            _, salvage = self.load_with_stats()
+        return salvage
+
+    # -- writing -----------------------------------------------------------
+
+    def record(
+        self,
+        outcome: JobResult,
+        mutate: Optional[Callable[[str], str]] = None,
+    ) -> None:
+        """Append one job outcome; atomic at line granularity.
+
+        *mutate*, when given, is applied to the encoded line just before
+        the write — the fault-injection hook (torn/corrupted/failing
+        writes) that the chaos suite uses to attack this very format.
+        """
         job = outcome.job
         record = {
             "key": job.key(),
@@ -94,6 +294,10 @@ class CheckpointJournal:
             "attempts": outcome.attempts,
             "duration": round(outcome.duration, 6),
         }
+        if outcome.backoff_total:
+            record["backoff_seconds"] = round(outcome.backoff_total, 6)
+        if outcome.crashes:
+            record["crashes"] = outcome.crashes
         if outcome.ok:
             record["metrics"] = snapshot_metrics(outcome.result)
         elif outcome.failure is not None:
@@ -102,8 +306,12 @@ class CheckpointJournal:
                 "message": outcome.failure.message,
                 "transient": outcome.failure.transient,
             }
-        line = json.dumps(record, sort_keys=True, default=repr) + "\n"
+            if outcome.failure.poison:
+                record["error"]["poison"] = True
+        line = frame_record(record)
         try:
+            if mutate is not None:
+                line = mutate(line)
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with open(self.path, "a") as stream:
                 stream.write(line)
@@ -113,3 +321,47 @@ class CheckpointJournal:
             raise CheckpointError(
                 f"cannot write checkpoint {self.path}: {error}"
             ) from error
+
+    def compact(self) -> Tuple[int, int, JournalSalvage]:
+        """Atomically rewrite to one checksummed record per key.
+
+        Returns ``(kept, dropped, salvage)`` where *dropped* counts the
+        lines that did not survive — damage, superseded retries — and
+        every surviving record is re-framed with a CRC (upgrading legacy
+        v1 journals in place).  The rewrite goes through a temp file +
+        ``os.replace``, so a crash mid-compaction leaves the original.
+        """
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            records, salvage = self.load_with_stats()
+        if not self.path.exists():
+            return 0, 0, salvage
+        try:
+            handle, temp_name = tempfile.mkstemp(
+                dir=str(self.path.parent), suffix=".compact"
+            )
+            with os.fdopen(handle, "w") as stream:
+                for data in records.values():
+                    stream.write(frame_record(data))
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(temp_name, self.path)
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot compact checkpoint {self.path}: {error}"
+            ) from error
+        # damaged frames + superseded retries are what the rewrite sheds;
+        # physical line count undercounts when a torn line also yielded a
+        # tail-salvaged record
+        dropped = salvage.skipped + salvage.duplicates
+        return len(records), dropped, salvage
+
+    def content_hashes(self) -> Dict[str, str]:
+        """key -> content hash of its surviving record (chaos equality)."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            records, _ = self.load_with_stats()
+        return {
+            key: record_content_hash(record)
+            for key, record in records.items()
+        }

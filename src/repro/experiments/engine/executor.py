@@ -2,19 +2,32 @@
 
 Each job attempt runs in its own worker process connected to the parent
 by a one-way pipe.  The parent multiplexes over every live pipe *and*
-every process sentinel, so all three failure shapes are observed
-directly:
+every process sentinel, so all failure shapes are observed directly:
 
 * the worker reports — ``("ok", result)`` or ``("error", info)``;
 * the worker dies silently (segfault, ``os._exit``, OOM kill) — its
   sentinel fires with no message queued → :class:`WorkerCrashError`;
-* the worker wedges — its deadline passes → SIGTERM, then SIGKILL →
-  :class:`JobTimeoutError`.
+* the worker exceeds its wall-clock deadline → SIGTERM, then SIGKILL →
+  :class:`JobTimeoutError`;
+* under a :class:`~repro.experiments.engine.supervise.WatchdogPolicy`,
+  the worker stops heartbeating — wedged, not merely slow — and is
+  killed past the no-progress deadline → :class:`WorkerStalledError`.
 
 Transient failures re-enter the queue with exponential backoff until the
-retry budget is spent; every terminal outcome is appended to the
-checkpoint journal before the next job is scheduled, so at any kill
-point the journal describes exactly the completed prefix of the sweep.
+retry budget is spent; a job whose attempts keep *killing the worker* is
+quarantined by the :class:`~repro.experiments.engine.retry.
+QuarantinePolicy` (journaled FAILED-poison, excluded from resume
+retries).  Every terminal outcome is appended to the checkpoint journal
+before the next job is scheduled, so at any kill point the journal
+describes exactly the completed prefix of the sweep; a failed journal
+write (disk full) degrades to a warning, never an aborted sweep.
+
+The executor is also the chaos harness: a
+:class:`~repro.experiments.engine.faults.FaultPlan` injects worker and
+journal faults at deterministic (job, attempt) coordinates, and a
+:class:`~repro.experiments.engine.supervise.GracefulDrain` turns
+SIGTERM/SIGINT into a checkpointed stop (finish in-flight work, journal
+it, return an ``interrupted`` report).
 """
 
 from __future__ import annotations
@@ -22,23 +35,33 @@ from __future__ import annotations
 import multiprocessing
 import random
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _wait_ready
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.experiments.engine.checkpoint import CheckpointJournal
+from repro.errors import CheckpointError, SweepInterrupted
+from repro.experiments.engine.checkpoint import (
+    CheckpointJournal,
+    JournalSalvage,
+)
+from repro.experiments.engine.faults import FaultPlan, journal_mutator
 from repro.experiments.engine.job import (
     Job,
     JobFailure,
     JobResult,
     ResultSnapshot,
 )
-from repro.experiments.engine.retry import RetryPolicy
+from repro.experiments.engine.retry import QuarantinePolicy, RetryPolicy
+from repro.experiments.engine.supervise import GracefulDrain, WatchdogPolicy
 from repro.experiments.engine.worker import default_worker, worker_shim
 
 #: upper bound on one scheduler tick, so deadlines are checked promptly
 _MAX_TICK = 0.2
+
+#: failure types that count as "this job killed its worker"
+_WORKER_LOSS_TYPES = ("WorkerCrashError", "WorkerStalledError")
 
 
 @dataclass
@@ -48,6 +71,10 @@ class _Attempt:
     job: Job
     attempt: int = 1
     not_before: float = 0.0
+    #: cumulative backoff seconds this job has waited across retries
+    backoff_total: float = 0.0
+    #: worker deaths this job has caused (journal-seeded across resumes)
+    crashes: int = 0
 
 
 @dataclass
@@ -59,6 +86,8 @@ class _Running:
     conn: object
     deadline: Optional[float]
     started: float
+    #: monotonic time of the last heartbeat (0.0 = none seen yet)
+    last_beat: float = 0.0
 
 
 @dataclass
@@ -68,9 +97,18 @@ class SweepReport:
     results: Dict[str, JobResult] = field(default_factory=dict)
     #: job keys in first-submission order (stable reporting order)
     order: List[str] = field(default_factory=list)
+    #: True when a drain request stopped the sweep before every job ran
+    interrupted: bool = False
+    #: journal-write failures tolerated during the sweep (disk full, ...)
+    journal_errors: int = 0
+    #: what the resume load salvaged from the journal (None: no resume)
+    salvage: Optional[JournalSalvage] = None
 
     def __iter__(self):
-        return (self.results[key] for key in self.order)
+        # an interrupted sweep has order entries that never settled
+        return (
+            self.results[key] for key in self.order if key in self.results
+        )
 
     @property
     def ok(self) -> List[JobResult]:
@@ -85,8 +123,24 @@ class SweepReport:
         return [r for r in self if r.resumed]
 
     @property
+    def quarantined(self) -> List[JobResult]:
+        """Jobs poisoned for repeatedly killing their worker."""
+        return [
+            r
+            for r in self.failures
+            if r.failure is not None and r.failure.poison
+        ]
+
+    @property
+    def unfinished(self) -> List[str]:
+        """Job keys submitted but never settled (interrupted sweep)."""
+        return [key for key in self.order if key not in self.results]
+
+    @property
     def exit_code(self) -> int:
-        """0 if every job succeeded, 1 if any failed (partial sweep)."""
+        """0 all ok; 1 some failed (partial sweep); 130 interrupted."""
+        if self.interrupted:
+            return 130
         return 1 if self.failures else 0
 
     def by_cell(self) -> Dict[Tuple[str, str], JobResult]:
@@ -106,17 +160,28 @@ class ExecutionEngine:
         worker: Optional[Callable[[Job], object]] = None,
         start_method: Optional[str] = None,
         seed: int = 0x5EED,
+        watchdog: Optional[WatchdogPolicy] = None,
+        quarantine: Optional[QuarantinePolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
     ):
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.retry = retry or RetryPolicy()
         self.checkpoint = checkpoint
         self.worker = worker or default_worker
+        self.watchdog = watchdog
+        self.quarantine = quarantine or QuarantinePolicy()
+        self.fault_plan = fault_plan
+        #: anything with EventTracer's ``emit`` surface; engine events
+        #: (retry/quarantine/watchdog/journal) land here when attached
+        self.tracer = tracer
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
         self._rng = random.Random(seed)
+        self._t0 = 0.0
 
     # -- public ------------------------------------------------------------
 
@@ -125,17 +190,34 @@ class ExecutionEngine:
         jobs: Iterable[Job],
         resume: bool = False,
         progress: Optional[Callable[[JobResult], None]] = None,
+        drain: Optional[GracefulDrain] = None,
+        retry_poisoned: bool = False,
     ) -> SweepReport:
         """Execute every job; never raises for anything a job did.
 
         With ``resume=True`` and a checkpoint journal, jobs whose key has
         a successful journal record are replayed as resumed results and
-        not re-executed; failed records are retried from scratch.
+        not re-executed; failed records are retried from scratch — except
+        poisoned ones (quarantined worker-killers), which replay as
+        failures unless ``retry_poisoned`` re-admits them with a fresh
+        crash budget.  A *drain* request stops launching and returns an
+        ``interrupted`` report once in-flight jobs settle.
         """
+        self._t0 = time.monotonic()
         report = SweepReport()
-        prior = (
-            self.checkpoint.load() if (resume and self.checkpoint) else {}
-        )
+        prior: Dict[str, dict] = {}
+        if resume and self.checkpoint is not None:
+            prior, report.salvage = self.checkpoint.load_with_stats()
+            if not report.salvage.clean:
+                self._emit(
+                    "journal-salvage",
+                    str(self.checkpoint.path),
+                    **{
+                        "records": report.salvage.records,
+                        "corrupt": report.salvage.corrupt,
+                        "crc_mismatch": report.salvage.crc_mismatch,
+                    },
+                )
         pending: "deque[_Attempt]" = deque()
         seen = set()
         for job in jobs:
@@ -145,30 +227,69 @@ class ExecutionEngine:
             seen.add(key)
             report.order.append(key)
             record = prior.get(key)
-            if record is not None and record.get("status") == "ok":
-                outcome = JobResult(
-                    job,
-                    "ok",
-                    result=ResultSnapshot(record.get("metrics") or {}),
-                    attempts=int(record.get("attempts", 1)),
-                    duration=float(record.get("duration", 0.0)),
-                    resumed=True,
-                )
+            outcome = self._replay(job, record, retry_poisoned)
+            if outcome is not None:
                 report.results[key] = outcome
                 if progress is not None:
                     progress(outcome)
             else:
-                pending.append(_Attempt(job))
+                crashes = 0
+                if record is not None and not retry_poisoned:
+                    crashes = int(record.get("crashes", 0) or 0)
+                pending.append(_Attempt(job, crashes=crashes))
         running: List[_Running] = []
         try:
             while pending or running:
-                self._launch(pending, running)
+                draining = drain is not None and drain.requested
+                if not draining:
+                    self._launch(pending, running)
+                elif not running:
+                    report.interrupted = True
+                    self._emit("drain", None, abandoned=len(pending))
+                    break
                 self._reap(pending, running, report, progress)
         finally:
             for live in running:  # interrupted: leave no orphans behind
                 self._kill(live.process)
                 self._close(live.conn)
         return report
+
+    def _replay(
+        self, job: Job, record: Optional[dict], retry_poisoned: bool
+    ) -> Optional[JobResult]:
+        """A resumed JobResult for *record*, or None to (re-)execute."""
+        if record is None:
+            return None
+        if record.get("status") == "ok":
+            return JobResult(
+                job,
+                "ok",
+                result=ResultSnapshot(record.get("metrics") or {}),
+                attempts=int(record.get("attempts", 1)),
+                duration=float(record.get("duration", 0.0)),
+                backoff_total=float(record.get("backoff_seconds", 0.0)),
+                crashes=int(record.get("crashes", 0) or 0),
+                resumed=True,
+            )
+        error = record.get("error") or {}
+        if error.get("poison") and not retry_poisoned:
+            # quarantined: replay the failure, do not burn another worker
+            return JobResult(
+                job,
+                "failed",
+                failure=JobFailure(
+                    error_type=str(error.get("type", "PoisonJobError")),
+                    message=str(error.get("message", "")),
+                    transient=False,
+                    poison=True,
+                ),
+                attempts=int(record.get("attempts", 1)),
+                duration=float(record.get("duration", 0.0)),
+                backoff_total=float(record.get("backoff_seconds", 0.0)),
+                crashes=int(record.get("crashes", 0) or 0),
+                resumed=True,
+            )
+        return None
 
     # -- scheduling --------------------------------------------------------
 
@@ -181,10 +302,25 @@ class ExecutionEngine:
             if entry.not_before > now:
                 pending.append(entry)  # still backing off; try the next
                 continue
+            fault = None
+            if self.fault_plan is not None:
+                fault = self.fault_plan.worker_fault(
+                    entry.job, entry.attempt
+                )
+                if fault is not None:
+                    self._emit(
+                        "fault",
+                        entry.job.label,
+                        kind=fault.kind,
+                        attempt=entry.attempt,
+                    )
+            heartbeat = (
+                self.watchdog.interval if self.watchdog is not None else None
+            )
             recv_conn, send_conn = self._ctx.Pipe(duplex=False)
             process = self._ctx.Process(
                 target=worker_shim,
-                args=(send_conn, self.worker, entry.job),
+                args=(send_conn, self.worker, entry.job, fault, heartbeat),
                 daemon=True,
             )
             process.start()
@@ -222,6 +358,12 @@ class ExecutionEngine:
         for live in running:
             if live.deadline is not None:
                 tick = min(tick, live.deadline - now)
+            if self.watchdog is not None:
+                stall_at = (
+                    max(live.started, live.last_beat)
+                    + self.watchdog.no_progress_timeout
+                )
+                tick = min(tick, stall_at - now)
         for entry in pending:
             if entry.not_before:
                 tick = min(tick, entry.not_before - now)
@@ -231,24 +373,64 @@ class ExecutionEngine:
 
     def _poll(self, live: _Running, now: float):
         """The attempt's outcome message, or None if still running."""
-        try:
-            has_message = live.conn.poll()
-        except (OSError, ValueError):
-            has_message = False
-        if has_message:
+        outcome = None
+        pipe_broken = False
+        while True:  # drain heartbeats queued ahead of the outcome
+            try:
+                if not live.conn.poll():
+                    break
+            except (OSError, ValueError):
+                break
             try:
                 message = live.conn.recv()
             except (EOFError, OSError):  # died mid-send
-                message = None
+                pipe_broken = True
+                break
+            if (
+                isinstance(message, tuple)
+                and message
+                and message[0] == "heartbeat"
+            ):
+                live.last_beat = time.monotonic()
+                continue
+            outcome = message
+            break
+        if outcome is not None:
             live.process.join(5)
             if live.process.is_alive():
                 self._kill(live.process)
-            if message is not None:
-                return message
+            return outcome
+        if pipe_broken:
+            live.process.join(5)
+            if live.process.is_alive():
+                self._kill(live.process)
             return self._crash_outcome(live)
         if not live.process.is_alive():
             live.process.join()
             return self._crash_outcome(live)
+        if self.watchdog is not None:
+            last_progress = max(live.started, live.last_beat)
+            stalled_for = now - last_progress
+            if stalled_for >= self.watchdog.no_progress_timeout:
+                self._kill(live.process)
+                self._emit(
+                    "watchdog",
+                    live.entry.job.label,
+                    stalled_for=round(stalled_for, 3),
+                    attempt=live.entry.attempt,
+                )
+                return (
+                    "error",
+                    {
+                        "type": "WorkerStalledError",
+                        "message": (
+                            f"no heartbeat for {stalled_for:.1f}s "
+                            "(no-progress deadline "
+                            f"{self.watchdog.no_progress_timeout:g}s)"
+                        ),
+                        "transient": True,
+                    },
+                )
         if live.deadline is not None and now >= live.deadline:
             self._kill(live.process)
             return (
@@ -283,6 +465,7 @@ class ExecutionEngine:
             result = JobResult(
                 entry.job, "ok", result=payload,
                 attempts=entry.attempt, duration=duration,
+                backoff_total=entry.backoff_total, crashes=entry.crashes,
             )
         else:
             failure = JobFailure(
@@ -290,25 +473,106 @@ class ExecutionEngine:
                 message=str(payload.get("message", "")),
                 transient=bool(payload.get("transient", False)),
             )
-            if self.retry.should_retry(entry.attempt, failure.transient):
+            if failure.error_type in _WORKER_LOSS_TYPES:
+                entry.crashes += 1
+            if self.quarantine.is_poison(entry.crashes):
+                failure = JobFailure(
+                    error_type="PoisonJobError",
+                    message=(
+                        f"quarantined: killed its worker {entry.crashes} "
+                        f"time(s), last as {failure.error_type}: "
+                        f"{failure.message}"
+                    ),
+                    transient=False,
+                    poison=True,
+                )
+                self._emit(
+                    "quarantine",
+                    entry.job.label,
+                    crashes=entry.crashes,
+                    attempts=entry.attempt,
+                )
+            elif self.retry.should_retry(entry.attempt, failure.transient):
+                delay = self.retry.delay(entry.attempt, self._rng)
+                self._emit(
+                    "retry",
+                    entry.job.label,
+                    attempt=entry.attempt,
+                    delay=round(delay, 3),
+                    error=failure.error_type,
+                )
                 pending.append(
                     _Attempt(
                         entry.job,
                         entry.attempt + 1,
-                        time.monotonic()
-                        + self.retry.delay(entry.attempt, self._rng),
+                        time.monotonic() + delay,
+                        entry.backoff_total + delay,
+                        entry.crashes,
                     )
                 )
                 return  # not terminal yet: no record, no report entry
             result = JobResult(
                 entry.job, "failed", failure=failure,
                 attempts=entry.attempt, duration=duration,
+                backoff_total=entry.backoff_total, crashes=entry.crashes,
             )
         report.results[entry.job.key()] = result
-        if self.checkpoint is not None:
-            self.checkpoint.record(result)
+        self._record(result, entry, report)
         if progress is not None:
             progress(result)
+        if self.fault_plan is not None and self.fault_plan.abort_after(
+            entry.job, entry.attempt
+        ):
+            self._emit("abort", entry.job.label, attempt=entry.attempt)
+            raise SweepInterrupted(
+                f"fault injection: abort after {entry.job.label} "
+                "(journal holds the completed prefix; --resume continues)"
+            )
+
+    def _record(self, result: JobResult, entry, report) -> None:
+        """Journal one terminal outcome; a failed write degrades."""
+        if self.checkpoint is None:
+            return
+        mutate = None
+        if self.fault_plan is not None:
+            spec = self.fault_plan.journal_fault(entry.job, entry.attempt)
+            if spec is not None:
+                self._emit(
+                    "fault",
+                    entry.job.label,
+                    kind=spec.kind,
+                    attempt=entry.attempt,
+                )
+                mutate = journal_mutator(spec)
+        try:
+            self.checkpoint.record(result, mutate=mutate)
+        except CheckpointError as error:
+            # a full disk must not abort a week of sweep: the result
+            # stays in the report, the cell re-runs on resume
+            report.journal_errors += 1
+            self._emit(
+                "journal-error", entry.job.label, error=str(error)
+            )
+            warnings.warn(
+                f"checkpoint write failed for {entry.job.label} "
+                f"({error}); continuing — this cell will re-run on resume"
+            )
+
+    def _emit(self, event: str, name: Optional[str], **args) -> None:
+        """Mirror an engine event into the attached tracer (if any)."""
+        if self.tracer is None:
+            return
+        try:
+            self.tracer.emit(
+                round(time.monotonic() - self._t0, 6),
+                event,
+                name,
+                None,
+                None,
+                args or None,
+            )
+        except Exception:
+            pass  # telemetry must never take down a sweep
 
     # -- process plumbing --------------------------------------------------
 

@@ -82,6 +82,9 @@ class JobFailure:
     error_type: str
     message: str
     transient: bool = False
+    #: True when the job was quarantined for repeatedly crashing its
+    #: worker; poisoned records are excluded from resume retries
+    poison: bool = False
 
     @property
     def reason(self) -> str:
@@ -98,6 +101,12 @@ class JobResult:
     failure: Optional[JobFailure] = None
     attempts: int = 1
     duration: float = 0.0
+    #: total seconds the retry policy's backoff delayed this job — the
+    #: schedule FAILED export cells surface alongside the attempt count
+    backoff_total: float = 0.0
+    #: attempts that ended in worker loss (crash or watchdog kill);
+    #: reaching the quarantine budget poisons the job
+    crashes: int = 0
     #: True when this outcome was replayed from a checkpoint journal
     resumed: bool = False
 

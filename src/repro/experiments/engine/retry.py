@@ -6,6 +6,15 @@ Only *transient* failures are retried (timeouts, worker loss, ``OSError``
 Backoff doubles per attempt up to ``max_delay``, with multiplicative
 jitter so a pool of retrying jobs doesn't stampede a shared resource
 (trace file server, NFS mount, ...) in lockstep.
+
+:class:`QuarantinePolicy` bounds a different axis: worker *deaths*.
+Retry budgets reset on every resume, so a job that deterministically
+crashes its worker would otherwise re-burn the full budget on each
+``--resume`` of a long sweep, forever.  Once a job has crashed its
+worker ``max_crashes`` times — counted across resumes via the journal's
+``crashes`` field — it is poisoned: journaled FAILED with
+:class:`~repro.errors.PoisonJobError` and excluded from resume retries
+until explicitly re-admitted (``--retry-poisoned``).
 """
 
 from __future__ import annotations
@@ -38,3 +47,16 @@ class RetryPolicy:
             self.max_delay, self.base_delay * (2 ** max(0, attempt - 1))
         )
         return backoff * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """When a worker-killing job stops being worth another process."""
+
+    #: worker deaths (crashes or watchdog kills) a job may cause, across
+    #: resumes, before it is poisoned; 0 disables quarantine entirely
+    max_crashes: int = 3
+
+    def is_poison(self, crashes: int) -> bool:
+        """Has this job spent its worker-death budget?"""
+        return self.max_crashes > 0 and crashes >= self.max_crashes

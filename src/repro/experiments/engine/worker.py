@@ -7,14 +7,28 @@ unpicklable, even ``os._exit`` — the parent either receives a structured
 ``("ok", result)`` / ``("error", info)`` message or observes the process
 sentinel and records a worker crash.  Nothing a job does can take down
 the sweep.
+
+When the executor runs under a watchdog, the shim also starts a daemon
+heartbeat thread (``("heartbeat", {...})`` messages over the same pipe,
+serialized by a lock) so the parent can tell a slow worker from a wedged
+one; and when a fault plan targets this launch, the shim *is* the
+delivery mechanism — the injected crash/hang/slow-start happens inside
+the real worker process, exercising exactly the code paths a genuine
+failure would.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+import threading
+from typing import Any, Dict, Optional
 
 from repro.errors import is_transient
+from repro.experiments.engine.faults import (
+    Unpicklable,
+    apply_worker_fault,
+)
 from repro.experiments.engine.job import Job
+from repro.experiments.engine.supervise import start_heartbeat
 
 
 def default_worker(job: Job) -> Any:
@@ -69,16 +83,37 @@ def error_info(error: BaseException) -> Dict[str, Any]:
     }
 
 
-def worker_shim(conn, worker, job: Job) -> None:
-    """Child-process main: run *worker* on *job*, report over *conn*."""
+def worker_shim(
+    conn,
+    worker,
+    job: Job,
+    fault=None,
+    heartbeat_interval: Optional[float] = None,
+) -> None:
+    """Child-process main: run *worker* on *job*, report over *conn*.
+
+    *fault* is an injected :class:`~repro.experiments.engine.faults.
+    FaultSpec` for this launch (None in production);
+    *heartbeat_interval* > 0 starts the watchdog heartbeat thread.
+    """
+    lock = threading.Lock()
+    stop_heartbeat = threading.Event()
+    if heartbeat_interval:
+        stop_heartbeat = start_heartbeat(conn, lock, heartbeat_interval)
     try:
         try:
+            if fault is not None:
+                apply_worker_fault(fault, stop_heartbeat)
             result = worker(job)
+            if fault is not None and fault.kind == "unpicklable":
+                result = Unpicklable()
         except BaseException as error:  # the barrier: report, don't escape
-            _send(conn, ("error", error_info(error)))
+            _send(conn, ("error", error_info(error)), lock, stop_heartbeat)
             return
         try:
-            conn.send(("ok", result))
+            with lock:
+                stop_heartbeat.set()  # no beats may trail the result
+                conn.send(("ok", result))
         except Exception as error:  # unpicklable / oversized result
             _send(
                 conn,
@@ -90,17 +125,26 @@ def worker_shim(conn, worker, job: Job) -> None:
                         "transient": False,
                     },
                 ),
+                lock,
+                stop_heartbeat,
             )
     finally:
+        stop_heartbeat.set()
         try:
             conn.close()
         except Exception:
             pass
 
 
-def _send(conn, message) -> None:
+def _send(conn, message, lock=None, stop_heartbeat=None) -> None:
     """Best-effort send; a dead parent pipe is not worth crashing over."""
     try:
-        conn.send(message)
+        if lock is None:
+            conn.send(message)
+            return
+        with lock:
+            if stop_heartbeat is not None:
+                stop_heartbeat.set()
+            conn.send(message)
     except Exception:
         pass

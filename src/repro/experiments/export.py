@@ -33,6 +33,9 @@ FIELDS = [
     "stream_accuracy",
     "stream_coverage",
     "intervals_completed",
+    "attempts",
+    "backoff_seconds",
+    "error_type",
     "series_file",
 ]
 
@@ -42,12 +45,19 @@ def result_record(
     mechanism: str,
     result: CoreResult,
     series_file: Union[str, None] = None,
+    attempts: Union[int, None] = None,
+    backoff_seconds: Union[float, None] = None,
 ) -> Dict:
     """Flatten one run's metrics into an export row.
 
-    A failed run exports with ``status`` carrying the failure reason and
-    every metric column null, so downstream analysis sees the hole
+    A failed run exports with ``status`` carrying the failure reason,
+    ``error_type`` naming the exception class, and every metric column
+    null, so downstream analysis sees the hole — and *how* it failed —
     explicitly instead of a silently missing row.
+
+    ``attempts`` and ``backoff_seconds`` surface the engine's retry
+    schedule (how many launches the cell took and how long backoff
+    delayed it); they stay null for runs outside the sweep engine.
 
     ``series_file`` optionally points at the per-interval telemetry
     series recorded for this cell (sweeps run with ``--telemetry``
@@ -55,11 +65,15 @@ def result_record(
     null for runs without telemetry.
     """
     if is_failed(result):
+        failure = getattr(result, "failure", None)
         reason = getattr(result, "reason", "unknown failure")
         record = {field: None for field in FIELDS}
         record.update(
             benchmark=benchmark, mechanism=mechanism,
             status=f"FAILED({reason})",
+            error_type=getattr(failure, "error_type", None),
+            attempts=attempts,
+            backoff_seconds=backoff_seconds,
         )
         return record
     return {
@@ -77,6 +91,9 @@ def result_record(
         "stream_accuracy": result.accuracy("stream"),
         "stream_coverage": result.coverage("stream"),
         "intervals_completed": getattr(result, "intervals_completed", None),
+        "attempts": attempts,
+        "backoff_seconds": backoff_seconds,
+        "error_type": None,
         "series_file": series_file,
     }
 

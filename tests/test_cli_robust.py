@@ -113,6 +113,83 @@ class TestCheckpointResume:
         assert (workdir / "cp" / "mysweep.jsonl").exists()
 
 
+class TestChaosFlags:
+    def test_inject_faults_abort_exits_130_and_resume_finishes(
+        self, workdir, capsys
+    ):
+        import json
+
+        plan = workdir / "plan.json"
+        plan.write_text(json.dumps({
+            "faults": [
+                {"kind": "crash", "job": "mst/cdp"},
+                {"kind": "abort", "job": "mst/baseline"},
+            ]
+        }))
+        assert main(SWEEP_ARGS + ["--inject-faults", str(plan)]) == 130
+        captured = capsys.readouterr()
+        assert "chaos: injecting 2 fault(s)" in captured.err
+        assert "--resume" in captured.err
+        assert main(SWEEP_ARGS + ["--resume"]) == 0
+        assert "gmean" in capsys.readouterr().out
+
+    def test_bad_fault_plan_exits_two(self, workdir, capsys):
+        plan = workdir / "plan.json"
+        plan.write_text('{"faults": [{"kind": "tsunami"}]}')
+        assert main(SWEEP_ARGS + ["--inject-faults", str(plan)]) == 2
+        captured = capsys.readouterr()
+        assert "tsunami" in captured.err
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize(
+        "flag, value",
+        [("--no-progress-timeout", "0"), ("--max-crashes", "-1")],
+    )
+    def test_invalid_supervision_options_exit_two(
+        self, workdir, capsys, flag, value
+    ):
+        assert main(SWEEP_ARGS + [flag, value]) == 2
+        assert flag in capsys.readouterr().err
+
+    def test_watchdog_and_quarantine_flags_accepted(self, workdir, capsys):
+        assert main(SWEEP_ARGS + [
+            "--no-progress-timeout", "30", "--max-crashes", "2",
+            "--retry-poisoned",
+        ]) == 0
+        assert "gmean" in capsys.readouterr().out
+
+
+class TestJournalCommands:
+    def run_sweep(self, workdir):
+        assert main(SWEEP_ARGS + ["--sweep-name", "j"]) == 0
+        return workdir / ".repro-checkpoints" / "j.jsonl"
+
+    def test_verify_clean_journal_exits_zero(self, workdir, capsys):
+        path = self.run_sweep(workdir)
+        capsys.readouterr()
+        assert main(["journal", "verify", str(path)]) == 0
+        assert "2 record(s)" in capsys.readouterr().out
+
+    def test_verify_damaged_journal_exits_one_then_compact_heals(
+        self, workdir, capsys
+    ):
+        path = self.run_sweep(workdir)
+        with open(path, "a") as stream:
+            stream.write("definitely not a record\n")
+        capsys.readouterr()
+        assert main(["journal", "verify", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "corrupt" in captured.out
+        assert "compact" in captured.err
+        assert main(["journal", "compact", str(path)]) == 0
+        assert "dropped 1" in capsys.readouterr().out
+        assert main(["journal", "verify", str(path)]) == 0
+
+    def test_verify_missing_journal_exits_two(self, workdir, capsys):
+        assert main(["journal", "verify", "nope.jsonl"]) == 2
+        assert "no checkpoint journal" in capsys.readouterr().err
+
+
 class TestParallelSweep:
     def test_parallel_jobs_produce_same_table(self, workdir, capsys):
         assert main(SWEEP_ARGS) == 0

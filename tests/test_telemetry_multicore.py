@@ -101,8 +101,10 @@ class TestExportColumns:
         record = result_record("mst", "cdp", failed,
                                series_file="ignored.jsonl")
         assert record["status"] == "FAILED(TimeoutError: exceeded 5s)"
+        # error_type is the one diagnostic column a failed row keeps
+        assert record["error_type"] == "TimeoutError"
         for field in FIELDS:
-            if field in ("benchmark", "mechanism", "status"):
+            if field in ("benchmark", "mechanism", "status", "error_type"):
                 continue
             assert record[field] is None, field
 
