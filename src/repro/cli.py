@@ -11,6 +11,8 @@ Examples::
     python -m repro multicore xalancbmk astar --mechanism ecdp+throttle
     python -m repro trace mst ecdp+throttle --format chrome --out trace.json
     python -m repro sweep --inject-faults plan.json --resume
+    python -m repro serve --port 8713 --jobs 4
+    python -m repro sweep --server http://127.0.0.1:8713
     python -m repro journal verify .repro-checkpoints/sweep-abc.jsonl
     python -m repro cost
 
@@ -59,6 +61,13 @@ from repro.experiments.runner import (
     profile_benchmark,
     run_benchmark,
     run_multicore,
+)
+from repro.service import (
+    ServiceClient,
+    ServicePolicy,
+    SimulationServer,
+    run_jobs,
+    serve_forever,
 )
 from repro.telemetry import (
     EventTracer,
@@ -216,14 +225,35 @@ def cmd_sweep(args) -> int:
     sweep_name = args.sweep_name or _sweep_name(
         benchmarks, all_mechanisms, args.input_set, args.paper
     )
-    journal = CheckpointJournal.for_sweep(sweep_name, args.checkpoint_dir)
-    if not args.resume:
-        journal.clear()
+    journal = None
     telemetry_dir = None
-    if args.telemetry:
-        telemetry_dir = str(
-            Path(args.checkpoint_dir) / f"{sweep_name}-series"
-        )
+    tracer = None
+    if args.server:
+        # the engine — and with it fault injection, telemetry recording,
+        # and the checkpoint journal — lives in the server process
+        if args.inject_faults:
+            raise UsageError(
+                "--inject-faults configures the engine, which runs "
+                "server-side; start the server with "
+                "`repro serve --inject-faults PLAN.json` instead"
+            )
+        if args.telemetry:
+            print(
+                "note: telemetry recording is a server-side choice "
+                "(`repro serve --telemetry`); fetch recorded series "
+                "via GET /jobs/<key>/series",
+                file=sys.stderr,
+            )
+    else:
+        journal = CheckpointJournal.for_sweep(sweep_name,
+                                              args.checkpoint_dir)
+        if not args.resume:
+            journal.clear()
+        if args.telemetry:
+            telemetry_dir = str(
+                Path(args.checkpoint_dir) / f"{sweep_name}-series"
+            )
+            tracer = EventTracer()
     fault_plan = None
     if args.inject_faults:
         fault_plan = FaultPlan.load(args.inject_faults)
@@ -237,17 +267,6 @@ def cmd_sweep(args) -> int:
         watchdog = WatchdogPolicy(
             no_progress_timeout=args.no_progress_timeout
         )
-    tracer = EventTracer() if args.telemetry else None
-    engine = ExecutionEngine(
-        jobs=args.jobs,
-        timeout=args.timeout,
-        retry=RetryPolicy(max_attempts=args.retries + 1),
-        checkpoint=journal,
-        watchdog=watchdog,
-        quarantine=QuarantinePolicy(max_crashes=args.max_crashes),
-        fault_plan=fault_plan,
-        tracer=tracer,
-    )
     jobs = [
         Job(benchmark, mechanism, config, input_set=args.input_set,
             telemetry_dir=telemetry_dir)
@@ -267,14 +286,33 @@ def cmd_sweep(args) -> int:
             file=sys.stderr,
         )
 
-    with GracefulDrain() as drain:
-        report = engine.run(
-            jobs,
-            resume=args.resume,
-            progress=progress,
-            drain=drain,
-            retry_poisoned=args.retry_poisoned,
+    if args.server:
+        client = ServiceClient(args.server)
+        # a per-job wall clock is the server's job; the client bound is
+        # on the whole sweep, scaled so slow cells don't trip it
+        deadline = (args.timeout or 300.0) * max(1, len(jobs)) + 60.0
+        report = run_jobs(
+            client, jobs, progress=progress, timeout=deadline
         )
+    else:
+        engine = ExecutionEngine(
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retry=RetryPolicy(max_attempts=args.retries + 1),
+            checkpoint=journal,
+            watchdog=watchdog,
+            quarantine=QuarantinePolicy(max_crashes=args.max_crashes),
+            fault_plan=fault_plan,
+            tracer=tracer,
+        )
+        with GracefulDrain() as drain:
+            report = engine.run(
+                jobs,
+                resume=args.resume,
+                progress=progress,
+                drain=drain,
+                retry_poisoned=args.retry_poisoned,
+            )
     cells = report.by_cell()
     _not_run = JobFailure(
         "NotRun", "sweep interrupted before this cell ran", transient=True
@@ -351,10 +389,14 @@ def cmd_sweep(args) -> int:
             title="sweep vs stream baseline",
         )
     )
+    where = (
+        f"service: {client.base_url}" if args.server
+        else f"checkpoint: {journal.path}"
+    )
     print(
         f"sweep: {len(jobs)} jobs, {len(report.ok)} ok, "
         f"{len(report.failures)} failed, {len(report.resumed)} resumed "
-        f"(checkpoint: {journal.path})"
+        f"({where})"
     )
     if report.salvage is not None and not report.salvage.clean:
         print(
@@ -404,6 +446,87 @@ def cmd_sweep(args) -> int:
             write_csv(args.export, export_records)
         print(f"wrote {len(export_records)} records to {args.export}")
     return report.exit_code
+
+
+def cmd_serve(args) -> int:
+    """Run the simulation service until SIGTERM/SIGINT drains it."""
+    problems = {}
+    if args.jobs < 1:
+        problems["--jobs"] = f"must be >= 1, got {args.jobs}"
+    if args.timeout is not None and args.timeout <= 0:
+        problems["--timeout"] = f"must be positive, got {args.timeout}"
+    if args.retries < 0:
+        problems["--retries"] = f"must be >= 0, got {args.retries}"
+    if args.no_progress_timeout is not None and args.no_progress_timeout <= 0:
+        problems["--no-progress-timeout"] = (
+            f"must be positive, got {args.no_progress_timeout}"
+        )
+    if args.max_crashes < 0:
+        problems["--max-crashes"] = f"must be >= 0, got {args.max_crashes}"
+    if args.max_queue < 1:
+        problems["--max-queue"] = f"must be >= 1, got {args.max_queue}"
+    if args.max_client_pending < 1:
+        problems["--max-client-pending"] = (
+            f"must be >= 1, got {args.max_client_pending}"
+        )
+    if args.batch_window < 0:
+        problems["--batch-window"] = (
+            f"must be >= 0, got {args.batch_window}"
+        )
+    if args.max_batch < 1:
+        problems["--max-batch"] = f"must be >= 1, got {args.max_batch}"
+    if problems:
+        details = "; ".join(f"{k}: {v}" for k, v in sorted(problems.items()))
+        raise UsageError(f"invalid serve options: {details}")
+    # the store journal is never cleared: persistence across server
+    # lives is the whole point of the content-addressed cache
+    journal = CheckpointJournal.for_sweep(args.store, args.checkpoint_dir)
+    telemetry_dir = None
+    events_path = None
+    if args.telemetry:
+        telemetry_dir = str(
+            Path(args.checkpoint_dir) / f"{args.store}-series"
+        )
+        events_path = str(
+            Path(args.checkpoint_dir)
+            / f"{args.store}-engine.events.jsonl"
+        )
+    fault_plan = None
+    if args.inject_faults:
+        fault_plan = FaultPlan.load(args.inject_faults)
+        print(
+            f"chaos: injecting {len(fault_plan)} fault(s) "
+            f"from {args.inject_faults}",
+            file=sys.stderr,
+        )
+    watchdog = None
+    if args.no_progress_timeout is not None:
+        watchdog = WatchdogPolicy(
+            no_progress_timeout=args.no_progress_timeout
+        )
+    engine = ExecutionEngine(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        checkpoint=journal,
+        watchdog=watchdog,
+        quarantine=QuarantinePolicy(max_crashes=args.max_crashes),
+        fault_plan=fault_plan,
+    )
+    server = SimulationServer(
+        engine,
+        policy=ServicePolicy(
+            max_queue=args.max_queue,
+            max_pending_per_client=args.max_client_pending,
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+        ),
+        host=args.host,
+        port=args.port,
+        telemetry_dir=telemetry_dir,
+        events_path=events_path,
+    )
+    return serve_forever(server)
 
 
 def _journal_at(path: str) -> CheckpointJournal:
@@ -672,8 +795,67 @@ def build_parser() -> argparse.ArgumentParser:
                    help="chaos testing: deterministically inject the "
                         "worker/journal/engine faults described in "
                         "PLAN.json (see FaultPlan)")
+    p.add_argument("--server", metavar="URL", default=None,
+                   help="run the sweep through a `repro serve` instance "
+                        "instead of a local engine; identical cells are "
+                        "served from the server's content-addressed "
+                        "result cache without re-execution")
     common(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sweep engine as an HTTP job service with a "
+             "content-addressed result cache",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8713,
+                   help="listening port (default 8713; 0 picks a free one)")
+    p.add_argument("--store", default="service", metavar="NAME",
+                   help="result-store journal name under the checkpoint "
+                        "dir (default 'service'); never cleared — cached "
+                        "results survive server restarts")
+    p.add_argument("--checkpoint-dir", default=".repro-checkpoints",
+                   metavar="DIR",
+                   help="where the store journal lives (default "
+                        ".repro-checkpoints/)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes per batch (default 1)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock limit per job (default: none)")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="retries per job for transient failures (default 2)")
+    p.add_argument("--no-progress-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="watchdog: kill a worker that sends no heartbeat "
+                        "for this long (default: off)")
+    p.add_argument("--max-crashes", type=int, default=3, metavar="N",
+                   help="quarantine a job after N worker crashes "
+                        "(0 disables; default 3)")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="queued jobs before submissions get 429 "
+                        "(default 64)")
+    p.add_argument("--max-client-pending", type=int, default=16,
+                   metavar="N",
+                   help="pending jobs one client may have before 429 "
+                        "(default 16)")
+    p.add_argument("--batch-window", type=float, default=0.05,
+                   metavar="SECONDS",
+                   help="how long to gather co-submitted jobs into one "
+                        "engine batch (default 0.05)")
+    p.add_argument("--max-batch", type=int, default=32, metavar="N",
+                   help="most jobs handed to one engine pass (default 32)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="record per-interval series for executed cells "
+                        "(served at GET /jobs/<key>/series) and dump the "
+                        "engine/service event log at shutdown")
+    p.add_argument("--inject-faults", metavar="PLAN.json", default=None,
+                   help="chaos testing: inject worker/journal/engine "
+                        "faults into the service's engine")
+    p.add_argument("--debug", action="store_true",
+                   help="print full tracebacks instead of one-line errors")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "journal",

@@ -145,6 +145,29 @@ class FaultPlanError(UsageError):
     """A fault-injection plan is malformed (unknown kind, bad coordinates)."""
 
 
+class ServiceError(ReproError):
+    """A job-service request failed (transport, protocol, or server side).
+
+    ``status`` carries the HTTP status code when the failure came from a
+    server response (None for transport-level failures).
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceBusyError(ServiceError):
+    """The service applied backpressure (quota or queue bound, 429/503).
+
+    Transient by design: the request was valid, the server was full —
+    retrying after some in-flight work settles is the correct response,
+    and it is exactly what the sweep client does.
+    """
+
+    transient = True
+
+
 class SweepInterrupted(ReproError):
     """A sweep stopped before finishing (signal drain or injected abort).
 

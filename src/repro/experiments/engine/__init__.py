@@ -42,6 +42,7 @@ Quick tour::
 from repro.experiments.engine.checkpoint import (
     CheckpointJournal,
     JournalSalvage,
+    journal_record,
     record_content_hash,
 )
 from repro.experiments.engine.executor import ExecutionEngine, SweepReport
@@ -51,11 +52,14 @@ from repro.experiments.engine.faults import (
     FaultSpec,
 )
 from repro.experiments.engine.job import (
+    IDENTITY_FIELDS,
+    NON_IDENTITY_FIELDS,
     FailedResult,
     Job,
     JobFailure,
     JobResult,
     ResultSnapshot,
+    identity_payload,
     is_failed,
     snapshot_metrics,
 )
@@ -71,17 +75,21 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "GracefulDrain",
+    "IDENTITY_FIELDS",
     "Job",
     "JobFailure",
     "JobResult",
     "JournalSalvage",
+    "NON_IDENTITY_FIELDS",
     "QuarantinePolicy",
     "ResultSnapshot",
     "RetryPolicy",
     "SweepReport",
     "WatchdogPolicy",
     "default_worker",
+    "identity_payload",
     "is_failed",
+    "journal_record",
     "record_content_hash",
     "snapshot_metrics",
 ]

@@ -50,6 +50,40 @@ VOLATILE_FIELDS = ("duration", "attempts", "backoff_seconds", "crashes")
 _MAX_BAD_LINES = 32
 
 
+def journal_record(outcome: JobResult) -> dict:
+    """The JSON-safe journal record for one terminal job outcome.
+
+    This is the one shape a settled job takes at rest: the journal
+    appends it, resume replays it, and the service's result store serves
+    it — so building it lives in exactly one place.
+    """
+    job = outcome.job
+    record = {
+        "key": job.key(),
+        "benchmark": job.benchmark,
+        "mechanism": job.mechanism,
+        "input_set": job.input_set,
+        "status": outcome.status,
+        "attempts": outcome.attempts,
+        "duration": round(outcome.duration, 6),
+    }
+    if outcome.backoff_total:
+        record["backoff_seconds"] = round(outcome.backoff_total, 6)
+    if outcome.crashes:
+        record["crashes"] = outcome.crashes
+    if outcome.ok:
+        record["metrics"] = snapshot_metrics(outcome.result)
+    elif outcome.failure is not None:
+        record["error"] = {
+            "type": outcome.failure.error_type,
+            "message": outcome.failure.message,
+            "transient": outcome.failure.transient,
+        }
+        if outcome.failure.poison:
+            record["error"]["poison"] = True
+    return record
+
+
 def _canonical(data: dict) -> bytes:
     """The byte string the CRC is computed over (stable across loads)."""
     return json.dumps(
@@ -284,31 +318,7 @@ class CheckpointJournal:
         the write — the fault-injection hook (torn/corrupted/failing
         writes) that the chaos suite uses to attack this very format.
         """
-        job = outcome.job
-        record = {
-            "key": job.key(),
-            "benchmark": job.benchmark,
-            "mechanism": job.mechanism,
-            "input_set": job.input_set,
-            "status": outcome.status,
-            "attempts": outcome.attempts,
-            "duration": round(outcome.duration, 6),
-        }
-        if outcome.backoff_total:
-            record["backoff_seconds"] = round(outcome.backoff_total, 6)
-        if outcome.crashes:
-            record["crashes"] = outcome.crashes
-        if outcome.ok:
-            record["metrics"] = snapshot_metrics(outcome.result)
-        elif outcome.failure is not None:
-            record["error"] = {
-                "type": outcome.failure.error_type,
-                "message": outcome.failure.message,
-                "transient": outcome.failure.transient,
-            }
-            if outcome.failure.poison:
-                record["error"]["poison"] = True
-        line = frame_record(record)
+        line = frame_record(journal_record(outcome))
         try:
             if mutate is not None:
                 line = mutate(line)

@@ -31,6 +31,49 @@ _SCALAR_METRICS = (
     "intervals_completed",
 )
 
+#: the Job fields that define its identity — the content hash the
+#: checkpoint journal and the service's result cache are keyed by.
+#: Everything here changes what the simulation *computes*.
+IDENTITY_FIELDS = (
+    "benchmark",
+    "mechanism",
+    "input_set",
+    "profile_input",
+    "config",
+)
+
+#: Job fields deliberately excluded from identity: they change how a run
+#: is *observed or scheduled*, never its simulated outcome.  A telemetry
+#: sweep can resume from a non-telemetry journal (and vice versa), and a
+#: service submission with a different telemetry destination dedupes
+#: against the cached result.  The identity regression test enforces
+#: that IDENTITY_FIELDS + NON_IDENTITY_FIELDS covers every Job field, so
+#: adding a field forces an explicit decision about which side it is on.
+NON_IDENTITY_FIELDS = ("telemetry_dir",)
+
+
+def canonical_config(config) -> object:
+    """A JSON-encodable form of a job's config, stable across runs."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return dataclasses.asdict(config)
+    if isinstance(config, dict):
+        return dict(config)
+    return {"repr": repr(config)}
+
+
+def identity_payload(job: "Job") -> Dict[str, Any]:
+    """The exact dict a job's content hash is computed over.
+
+    Shared by :meth:`Job.key` and the service's submission
+    normalization, so "same job" means the same thing to the checkpoint
+    journal, the resume path, and the result cache.
+    """
+    payload: Dict[str, Any] = {}
+    for name in IDENTITY_FIELDS:
+        value = getattr(job, name)
+        payload[name] = canonical_config(value) if name == "config" else value
+    return payload
+
 
 @dataclass(frozen=True)
 class Job:
@@ -52,25 +95,14 @@ class Job:
         return f"{self.benchmark}/{self.mechanism}"
 
     def key(self) -> str:
-        """Deterministic content hash identifying this job across runs."""
-        if dataclasses.is_dataclass(self.config) and not isinstance(
-            self.config, type
-        ):
-            config = dataclasses.asdict(self.config)
-        elif isinstance(self.config, dict):
-            config = dict(self.config)
-        else:
-            config = {"repr": repr(self.config)}
+        """Deterministic content hash identifying this job across runs.
+
+        Computed over :data:`IDENTITY_FIELDS` only (see
+        :func:`identity_payload`); fields in :data:`NON_IDENTITY_FIELDS`
+        never affect the key.
+        """
         payload = json.dumps(
-            {
-                "benchmark": self.benchmark,
-                "mechanism": self.mechanism,
-                "input_set": self.input_set,
-                "profile_input": self.profile_input,
-                "config": config,
-            },
-            sort_keys=True,
-            default=repr,
+            identity_payload(self), sort_keys=True, default=repr
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 

@@ -1,0 +1,251 @@
+"""Stdlib HTTP client for the simulation service.
+
+:class:`ServiceClient` is a thin, dependency-free wrapper over
+``http.client`` — one connection per request, matching the server's
+``Connection: close`` discipline.  :func:`run_jobs` is the sweep-shaped
+entry point: it pushes a job list through a remote server and returns
+the same :class:`~repro.experiments.engine.SweepReport` a local
+``engine.run()`` would, so every downstream consumer (result tables,
+exporters, exit-code mapping) works unchanged with ``--server``.
+
+Backpressure is part of the protocol, not an error: a 429/503 surfaces
+as :class:`~repro.errors.ServiceBusyError` and ``run_jobs`` responds by
+collecting an outstanding result before retrying the submission — the
+client end of the server's quota design.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional
+from urllib.parse import urlsplit
+
+from repro.errors import ServiceBusyError, ServiceError
+from repro.experiments.engine.executor import SweepReport
+from repro.experiments.engine.job import Job, JobResult
+from repro.service.protocol import result_from_record, submission_from_job
+
+#: submission payload statuses that mean "the record is final"
+TERMINAL_STATUSES = ("done", "failed")
+
+
+class ServiceClient:
+    """Talk to one simulation server at *base_url*.
+
+    *client_id* becomes the ``X-Repro-Client`` header the server's
+    per-client quota keys on; omit it to be identified by peer address.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        client_id: Optional[str] = None,
+        timeout: float = 30.0,
+    ):
+        split = urlsplit(base_url if "//" in base_url else f"//{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ServiceError(
+                f"service URL must be http:// (got {base_url!r})"
+            )
+        if not split.hostname:
+            raise ServiceError(f"service URL has no host: {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.client_id = client_id
+        self.timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Any:
+        headers = {"Content-Type": "application/json"}
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
+        body = (
+            json.dumps(payload, sort_keys=True, default=repr)
+            if payload is not None
+            else None
+        )
+        try:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                status = response.status
+                raw = response.read()
+            finally:
+                connection.close()
+        except OSError as error:
+            raise ServiceError(
+                f"cannot reach simulation service at {self.base_url}: "
+                f"{error}"
+            ) from error
+        content_type = ""
+        if raw[:1] not in (b"{", b"["):
+            content_type = "raw"
+        if content_type == "raw":
+            decoded: Any = raw
+        else:
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                decoded = raw
+        if status >= 400:
+            message = (
+                decoded.get("error", f"HTTP {status}")
+                if isinstance(decoded, dict)
+                else f"HTTP {status}"
+            )
+            if status in (429, 503):
+                raise ServiceBusyError(message, status=status)
+            raise ServiceError(message, status=status)
+        return decoded
+
+    # -- endpoints ---------------------------------------------------------
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST one submission; returns the server's status payload."""
+        return self._request("POST", "/jobs", payload)
+
+    def submit_job(self, job: Job) -> Dict[str, Any]:
+        """Submit a local :class:`Job`, guarding against identity skew.
+
+        If the server derives a different content hash than the local
+        ``job.key()``, client and server disagree about job identity —
+        a version skew that would silently mis-cache.  Fail loudly.
+        """
+        response = self.submit(submission_from_job(job))
+        if response.get("key") != job.key():
+            raise ServiceError(
+                "job identity skew: server hashed "
+                f"{job.label} to {response.get('key')!r}, client to "
+                f"{job.key()!r}; client and server versions disagree"
+            )
+        return response
+
+    def status(self, key: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{key}")
+
+    def result(self, key: str) -> Dict[str, Any]:
+        """The settled record for *key* (ServiceError 409 if pending)."""
+        return self._request("GET", f"/jobs/{key}/result")
+
+    def wait(
+        self, key: str, timeout: float = 600.0, poll: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll ``/jobs/<key>`` until the job settles; returns the payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.status(key)
+            if payload.get("status") in TERMINAL_STATUSES:
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for job "
+                    f"{key} (last status: {payload.get('status')!r})"
+                )
+            time.sleep(poll)
+
+    def run(
+        self, payload: Dict[str, Any], timeout: float = 600.0
+    ) -> Dict[str, Any]:
+        """Submit one payload and block until its record is final."""
+        response = self.submit(payload)
+        if response.get("status") in TERMINAL_STATUSES:
+            return response["record"]
+        return self.wait(response["key"], timeout=timeout)["record"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def events(self, after: int = 0, wait: float = 0.0) -> Dict[str, Any]:
+        """Engine/service events with seq > *after* (optionally long-poll)."""
+        return self._request(
+            "GET", f"/events?after={int(after)}&wait={float(wait)}"
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+
+def run_jobs(
+    client: ServiceClient,
+    jobs: List[Job],
+    progress: Optional[Callable[[JobResult], None]] = None,
+    timeout: float = 600.0,
+    poll: float = 0.1,
+) -> SweepReport:
+    """Run a sweep's job list through a remote service.
+
+    Submits every job (deduplicating identical cells client-side, like
+    the engine does), rides out backpressure by collecting an already
+    outstanding result before retrying, then polls the remainder in
+    submission order.  The returned report is shaped exactly like a
+    local ``engine.run()`` report: records the server served from its
+    cache come back ``resumed=True``, re-executions ``resumed=False``.
+    """
+    report = SweepReport()
+    by_key: Dict[str, Job] = {}
+    for job in jobs:
+        key = job.key()
+        if key not in by_key:
+            by_key[key] = job
+            report.order.append(key)
+    outstanding: List[str] = []  # submitted, not yet settled
+    deadline = time.monotonic() + timeout
+
+    def settle(key: str, payload: Dict[str, Any]) -> None:
+        outcome = result_from_record(
+            by_key[key],
+            payload["record"],
+            resumed=bool(payload.get("cached", False)),
+        )
+        report.results[key] = outcome
+        if progress is not None:
+            progress(outcome)
+
+    def collect_one() -> None:
+        """Wait out the oldest outstanding job (frees quota headroom)."""
+        key = outstanding.pop(0)
+        settle(
+            key,
+            client.wait(
+                key,
+                timeout=max(0.1, deadline - time.monotonic()),
+                poll=poll,
+            ),
+        )
+
+    for key in list(report.order):
+        job = by_key[key]
+        while True:
+            try:
+                response = client.submit_job(job)
+            except ServiceBusyError:
+                if outstanding:
+                    collect_one()
+                    continue
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)
+                continue
+            break
+        if response.get("status") in TERMINAL_STATUSES:
+            settle(key, response)
+        else:
+            outstanding.append(key)
+    while outstanding:
+        collect_one()
+    return report

@@ -1,0 +1,103 @@
+"""Content-addressed result store backed by the v2 checkpoint journal.
+
+The store is the service's cache layer: an in-memory map of job key →
+journal-shaped record, loaded from (and persisted through) the same
+CRC-framed JSONL journal the sweep engine checkpoints into.  The engine
+remains the single writer — every terminal outcome it journals is
+absorbed here from the batch report — so the durable file and the
+served cache cannot disagree about what a record *says*, only about
+whether a torn write made it durable (in which case the resume path
+re-runs that one cell, exactly as a direct-engine chaos run would).
+
+Serving policy mirrors the engine's resume semantics precisely:
+
+* ``ok`` records are served from the store, never re-executed;
+* ``failed`` records with the poison flag (quarantined worker-killers)
+  are served as failures — resubmission does not burn another worker;
+* other ``failed`` records are *not* served: resubmitting a transient
+  failure re-executes it, the same way ``--resume`` retries failed
+  journal records.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import Dict, Optional
+
+from repro.experiments.engine.checkpoint import (
+    CheckpointJournal,
+    JournalSalvage,
+    journal_record,
+    record_content_hash,
+)
+from repro.experiments.engine.executor import SweepReport
+
+
+class ResultStore:
+    """Shared content-addressed cache of settled job records."""
+
+    def __init__(self, journal: CheckpointJournal):
+        self.journal = journal
+        self._records: Dict[str, dict] = {}
+        self._lock = threading.Lock()
+        #: what the last journal load salvaged (None before first load)
+        self.salvage: Optional[JournalSalvage] = None
+        self.load()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def load(self) -> JournalSalvage:
+        """(Re)load the journal into memory, salvaging any damage."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            records, salvage = self.journal.load_with_stats()
+        with self._lock:
+            self._records = records
+            self.salvage = salvage
+        return salvage
+
+    def get(self, key: str) -> Optional[dict]:
+        """The settled record for *key*, or None."""
+        with self._lock:
+            return self._records.get(key)
+
+    @staticmethod
+    def serves(record: Optional[dict], retry_poisoned: bool = False) -> bool:
+        """Should this record be served instead of re-executing the job?
+
+        The exact criterion the engine's resume path uses: successes
+        always; poisoned failures unless explicitly re-admitted;
+        ordinary failures never (they re-run).
+        """
+        if not record:
+            return False
+        if record.get("status") == "ok":
+            return True
+        error = record.get("error") or {}
+        return bool(error.get("poison")) and not retry_poisoned
+
+    def absorb(self, report: SweepReport) -> int:
+        """Fold a batch report's terminal outcomes into the cache.
+
+        The engine already journaled each outcome (modulo injected or
+        real write faults); absorbing from the report keeps the served
+        cache authoritative even when a journal write was lost — the
+        loss surfaces only on restart, as a re-execution.
+        """
+        absorbed = 0
+        with self._lock:
+            for outcome in report:
+                self._records[outcome.job.key()] = journal_record(outcome)
+                absorbed += 1
+        return absorbed
+
+    def content_hashes(self) -> Dict[str, str]:
+        """key → content hash of its record (the chaos-equality surface)."""
+        with self._lock:
+            return {
+                key: record_content_hash(record)
+                for key, record in self._records.items()
+            }

@@ -1,0 +1,343 @@
+"""Service-level harness: the job server end to end, in process.
+
+Every test runs a real :class:`SimulationServer` — actual asyncio HTTP
+listener on a loopback port, actual engine worker processes — via
+``start_server_thread``, and talks to it through the stdlib
+:class:`ServiceClient`.  The headline properties under test:
+
+* submit → poll → result round-trips through HTTP and settles through
+  the CRC-framed checkpoint journal;
+* an identical resubmission is served from the content-addressed store
+  with **zero** re-execution (proved by an execution-counting worker
+  that leaves one file per actual run);
+* concurrent duplicate submissions coalesce onto one in-flight
+  execution;
+* a full queue and an exhausted per-client quota surface as HTTP 429
+  (:class:`ServiceBusyError`), never as unbounded buffering;
+* a graceful drain settles in-flight jobs to the journal, and a fresh
+  server over the same journal serves them without re-executing.
+
+Workers leave execution evidence in a directory instead of a shared
+counter because they run in *child processes*: the filesystem is the
+only side channel that survives the process boundary.
+"""
+
+import functools
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.errors import ServiceBusyError, ServiceError, UsageError
+from repro.experiments.engine import (
+    CheckpointJournal,
+    ExecutionEngine,
+    RetryPolicy,
+)
+from repro.service import (
+    ServiceClient,
+    ServicePolicy,
+    job_from_submission,
+    run_jobs,
+    start_server_thread,
+    submission_from_job,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
+
+ALPHA = {"benchmark": "alpha", "mechanism": "mech"}
+BETA = {"benchmark": "beta", "mechanism": "mech"}
+GAMMA = {"benchmark": "gamma", "mechanism": "mech"}
+
+
+def counting_worker(count_dir, job, delay=0.0):
+    """Deterministic fake simulation that logs each actual execution.
+
+    One file appears in *count_dir* per run that reaches a worker — the
+    ground truth behind every zero-re-execution assertion here.
+    """
+    fd, _path = tempfile.mkstemp(dir=count_dir, prefix=job.benchmark + "-")
+    os.close(fd)
+    if delay:
+        time.sleep(delay)
+    return {
+        "ipc": 1.0 + len(job.benchmark) / 10.0,
+        "bpki": float(sum(job.benchmark.encode())),
+    }
+
+
+class ServerUnderTest:
+    """One server + its journal + its execution-count directory."""
+
+    def __init__(self, tmp_path, delay=0.0, policy=None, **engine_overrides):
+        self.count_dir = tmp_path / "executions"
+        self.count_dir.mkdir(exist_ok=True)
+        self.journal_path = tmp_path / "svc.jsonl"
+        worker = functools.partial(
+            counting_worker, str(self.count_dir), delay=delay
+        )
+        settings = dict(
+            jobs=2,
+            worker=worker,
+            checkpoint=CheckpointJournal(self.journal_path),
+            retry=FAST_RETRY,
+        )
+        settings.update(engine_overrides)
+        self.handle = start_server_thread(
+            ExecutionEngine(**settings),
+            policy=policy or ServicePolicy(batch_window=0.01),
+        )
+        self.client = ServiceClient(self.handle.url, client_id="test")
+
+    def executions(self) -> int:
+        return len(os.listdir(self.count_dir))
+
+    def stop(self):
+        self.handle.stop()
+
+
+class TestEndToEnd:
+    def test_submit_poll_result(self, tmp_path):
+        server = ServerUnderTest(tmp_path)
+        try:
+            health = server.client.health()
+            assert health["status"] == "ok"
+            assert health["records"] == 0
+
+            response = server.client.submit(ALPHA)
+            key = response["key"]
+            assert key == job_from_submission(ALPHA).key()
+            assert response["status"] in ("queued", "running")
+
+            payload = server.client.wait(key, timeout=30.0)
+            assert payload["status"] == "done"
+            record = payload["record"]
+            assert record["status"] == "ok"
+            assert record["metrics"]["ipc"] == pytest.approx(1.5)
+            assert server.client.result(key) == record
+            assert server.executions() == 1
+
+            listed = server.client.jobs()
+            assert [j["key"] for j in listed] == [key]
+        finally:
+            server.stop()
+        # the settlement is durable, not just in memory
+        records = CheckpointJournal(server.journal_path).load()
+        assert records[key]["status"] == "ok"
+
+    def test_unknown_key_and_bad_submissions(self, tmp_path):
+        server = ServerUnderTest(tmp_path)
+        try:
+            with pytest.raises(ServiceError) as err:
+                server.client.status("no-such-key")
+            assert err.value.status == 404
+            for bad in (
+                {"benchmark": "", "mechanism": "m"},
+                {"benchmark": "a", "mechanism": "m", "bogus": 1},
+                {"benchmark": "a", "mechanism": "m", "preset": "huge"},
+                {"benchmark": "a", "mechanism": "m",
+                 "config": {"not_a_knob": 3}},
+                ["not", "an", "object"],
+            ):
+                with pytest.raises(ServiceError) as err:
+                    server.client.submit(bad)
+                assert err.value.status == 400, bad
+            assert server.executions() == 0
+        finally:
+            server.stop()
+
+
+class TestContentAddressedDedup:
+    def test_identical_resubmission_never_reexecutes(self, tmp_path):
+        server = ServerUnderTest(tmp_path)
+        try:
+            record = server.client.run(ALPHA, timeout=30.0)
+            assert record["status"] == "ok"
+            assert server.executions() == 1
+
+            # same cell, different spelling: key order, defaults made
+            # explicit — the content hash sees through all of it
+            respelled = {
+                "mechanism": "mech",
+                "input_set": "ref",
+                "profile_input": "train",
+                "preset": "scaled",
+                "benchmark": "alpha",
+            }
+            response = server.client.submit(respelled)
+            assert response["status"] == "done"
+            assert response["cached"] is True
+            assert response["record"]["metrics"] == record["metrics"]
+            assert server.executions() == 1
+
+            stats = server.client.stats()
+            assert stats["cache_hits"] == 1
+            assert stats["executed"] == 1
+        finally:
+            server.stop()
+
+    def test_concurrent_duplicates_coalesce(self, tmp_path):
+        # a wide batch window + a slow worker keep the first submission
+        # pending long enough for the duplicate to land on it
+        server = ServerUnderTest(
+            tmp_path,
+            delay=0.2,
+            policy=ServicePolicy(batch_window=0.25),
+        )
+        try:
+            first = server.client.submit(ALPHA)
+            second = server.client.submit(ALPHA)
+            assert second["key"] == first["key"]
+            assert second.get("coalesced") is True
+            assert second["submissions"] == 2
+
+            payload = server.client.wait(first["key"], timeout=30.0)
+            assert payload["status"] == "done"
+            assert server.executions() == 1
+            assert server.client.stats()["coalesced"] == 1
+        finally:
+            server.stop()
+
+    def test_restart_serves_from_journal(self, tmp_path):
+        server = ServerUnderTest(tmp_path)
+        try:
+            assert server.client.run(ALPHA, timeout=30.0)["status"] == "ok"
+        finally:
+            server.stop()
+        assert server.executions() == 1
+
+        # a brand-new server process over the same journal: the result
+        # store rehydrates, the resubmission never reaches a worker
+        reborn = ServerUnderTest(tmp_path)
+        try:
+            assert reborn.client.health()["records"] == 1
+            response = reborn.client.submit(ALPHA)
+            assert response["status"] == "done"
+            assert response["cached"] is True
+        finally:
+            reborn.stop()
+        # both servers share the count dir: one execution total, ever
+        assert server.executions() == 1
+
+
+class TestBackpressure:
+    def test_queue_bound_rejects_with_429(self, tmp_path):
+        # batch window far longer than the test: submissions stay queued
+        server = ServerUnderTest(
+            tmp_path,
+            policy=ServicePolicy(max_queue=1, batch_window=30.0),
+        )
+        try:
+            server.client.submit(ALPHA)
+            with pytest.raises(ServiceBusyError) as err:
+                server.client.submit(BETA)
+            assert err.value.status == 429
+            assert server.client.stats()["rejected_queue"] == 1
+            # the duplicate of the queued job still coalesces: dedup
+            # must not be defeated by a full queue
+            again = server.client.submit(ALPHA)
+            assert again.get("coalesced") is True
+        finally:
+            server.stop()
+
+    def test_per_client_quota_rejects_with_429(self, tmp_path):
+        server = ServerUnderTest(
+            tmp_path,
+            policy=ServicePolicy(
+                max_pending_per_client=1, max_queue=64, batch_window=30.0
+            ),
+        )
+        try:
+            ana = ServiceClient(server.handle.url, client_id="ana")
+            bob = ServiceClient(server.handle.url, client_id="bob")
+            ana.submit(ALPHA)
+            with pytest.raises(ServiceBusyError) as err:
+                ana.submit(BETA)
+            assert err.value.status == 429
+            # quotas are per client: bob's budget is untouched
+            assert bob.submit(BETA)["status"] in ("queued", "running")
+            assert server.client.stats()["rejected_quota"] == 1
+        finally:
+            server.stop()
+
+
+class TestGracefulDrain:
+    def test_drain_settles_inflight_work_to_journal(self, tmp_path):
+        server = ServerUnderTest(tmp_path, delay=0.5)
+        try:
+            key = server.client.submit(ALPHA)["key"]
+            deadline = time.monotonic() + 10.0
+            while server.client.status(key)["status"] != "running":
+                assert time.monotonic() < deadline, "job never launched"
+                time.sleep(0.02)
+
+            server.handle.begin_drain()
+            with pytest.raises(ServiceBusyError) as err:
+                server.client.submit(BETA)
+            assert err.value.status == 503
+        finally:
+            server.stop()
+        # the in-flight job was not abandoned: it settled durably
+        records = CheckpointJournal(server.journal_path).load()
+        assert records[key]["status"] == "ok"
+        assert server.executions() == 1
+
+
+class TestSweepClient:
+    def test_run_jobs_matches_engine_report_shape(self, tmp_path):
+        server = ServerUnderTest(tmp_path)
+        try:
+            jobs = [job_from_submission(p) for p in (ALPHA, BETA, GAMMA)]
+            seen = []
+            report = run_jobs(
+                server.client,
+                jobs + jobs[:1],  # duplicate cell dedupes client-side
+                progress=seen.append,
+                timeout=60.0,
+            )
+            assert len(report.order) == 3
+            assert len(report.ok) == 3
+            assert report.exit_code == 0
+            assert len(seen) == 3
+            assert server.executions() == 3
+
+            # a second sweep over the same matrix is all cache
+            report = run_jobs(server.client, jobs, timeout=60.0)
+            assert len(report.ok) == 3
+            assert len(report.resumed) == 3
+            assert server.executions() == 3
+        finally:
+            server.stop()
+
+    def test_run_jobs_rides_out_backpressure(self, tmp_path):
+        # quota of one forces submit → collect → submit serialization
+        server = ServerUnderTest(
+            tmp_path,
+            policy=ServicePolicy(
+                max_pending_per_client=1, batch_window=0.01
+            ),
+        )
+        try:
+            jobs = [job_from_submission(p) for p in (ALPHA, BETA, GAMMA)]
+            report = run_jobs(server.client, jobs, timeout=60.0)
+            assert len(report.ok) == 3
+            assert server.executions() == 3
+        finally:
+            server.stop()
+
+
+class TestProtocolRoundTrip:
+    def test_submission_round_trips_to_same_key(self):
+        job = job_from_submission(
+            {"benchmark": "alpha", "mechanism": "mech",
+             "config": {"stream_count": 16}, "input_set": "test"}
+        )
+        wire = submission_from_job(job)
+        assert job_from_submission(wire).key() == job.key()
+
+    def test_server_requires_a_journal(self, tmp_path):
+        from repro.service import SimulationServer
+
+        with pytest.raises(UsageError):
+            SimulationServer(ExecutionEngine(jobs=1, checkpoint=None))
