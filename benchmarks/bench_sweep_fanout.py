@@ -1,0 +1,251 @@
+"""Sweep fan-out throughput — local vs subprocess backend.
+
+Times the same content-addressed job matrix through the execution
+engine under each in-machine executor backend (DESIGN.md §8) at
+``--jobs`` 1/2/4, reporting jobs/minute per cell.  Per-job simulation
+time is small (``input_set="test"``), so the numbers expose what the
+bench is after: the dispatch + transport overhead each backend adds and
+how it scales with slot count — not simulator speed (that is
+``bench_perf_kernel.py``'s job).
+
+Every run journals to a throwaway checkpoint, and the bench asserts the
+cross-backend differential on the side: all cells at all slot counts
+must converge to one identical set of journal content hashes.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_sweep_fanout.py --benchmark-only`` — smoke
+  variant (small matrix, jobs 1/2) for CI;
+* ``PYTHONPATH=src python benchmarks/bench_sweep_fanout.py`` — the full
+  measurement, written to ``BENCH_sweep.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.experiments.engine import (
+    CheckpointJournal,
+    ExecutionEngine,
+    Job,
+    RetryPolicy,
+)
+from repro.experiments.engine.backends import create_backend
+from repro.experiments.reporting import format_table
+from repro.workloads.registry import pointer_intensive_names
+
+#: both in-machine backends; `remote` needs an inventory, so it is
+#: benched by its tests, not here
+BACKENDS = ("local", "subprocess")
+JOBS_GRID = (1, 2, 4)
+MECHANISMS = ("baseline", "cdp")
+INPUT_SET = "test"
+
+
+def job_matrix(benchmarks: int) -> List[Job]:
+    config = SystemConfig.scaled()
+    return [
+        Job(workload, mechanism, config, input_set=INPUT_SET)
+        for workload in pointer_intensive_names()[:benchmarks]
+        for mechanism in MECHANISMS
+    ]
+
+
+def _run_once(
+    backend_name: str, slots: int, matrix: List[Job], scratch: Path
+) -> Dict[str, Any]:
+    """One timed sweep; returns seconds + the journal's content hashes."""
+    journal = CheckpointJournal(
+        scratch / f"{backend_name}-j{slots}.jsonl"
+    )
+    engine = ExecutionEngine(
+        jobs=slots,
+        timeout=300.0,
+        retry=RetryPolicy(max_attempts=2),
+        checkpoint=journal,
+        backend=create_backend(backend_name),
+    )
+    start = time.perf_counter()
+    try:
+        report = engine.run(matrix)
+    finally:
+        engine.close()
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "ok": len(report.ok),
+        "failed": len(report.failures),
+        "hashes": journal.content_hashes(),
+    }
+
+
+def compute(
+    benchmarks: int = 6,
+    backends=BACKENDS,
+    jobs_grid=JOBS_GRID,
+    repeats: int = 2,
+) -> Dict[str, Any]:
+    """Run the grid; best-of *repeats* per (backend, slots) cell."""
+    matrix = job_matrix(benchmarks)
+    cells: List[Dict[str, Any]] = []
+    hash_sets: List[Any] = []
+    with tempfile.TemporaryDirectory(prefix="bench-fanout-") as tmp:
+        scratch = Path(tmp)
+        for backend_name in backends:
+            for slots in jobs_grid:
+                best: Optional[Dict[str, Any]] = None
+                for repeat in range(repeats):
+                    run_dir = scratch / f"r{repeat}"
+                    run_dir.mkdir(exist_ok=True)
+                    run = _run_once(backend_name, slots, matrix, run_dir)
+                    if best is None or run["seconds"] < best["seconds"]:
+                        best = run
+                hash_sets.append(best.pop("hashes"))
+                cells.append(
+                    {
+                        "backend": backend_name,
+                        "jobs": slots,
+                        "n_jobs": len(matrix),
+                        "repeats": repeats,
+                        "jobs_per_minute": (
+                            60.0 * len(matrix) / best["seconds"]
+                        ),
+                        **best,
+                    }
+                )
+
+    def rate(backend_name: str, slots: int) -> Optional[float]:
+        for cell in cells:
+            if (cell["backend"], cell["jobs"]) == (backend_name, slots):
+                return cell["jobs_per_minute"]
+        return None
+
+    serial_local = rate("local", jobs_grid[0])
+    headline = {
+        "local_jobs_per_minute": rate("local", max(jobs_grid)),
+        "subprocess_jobs_per_minute": rate("subprocess", max(jobs_grid)),
+        "local_scaling": (
+            rate("local", max(jobs_grid)) / serial_local
+            if serial_local
+            else None
+        ),
+        "subprocess_overhead_ratio": (
+            rate("local", max(jobs_grid))
+            / rate("subprocess", max(jobs_grid))
+            if rate("subprocess", max(jobs_grid))
+            else None
+        ),
+        "all_ok": all(cell["failed"] == 0 for cell in cells),
+        # the differential: every backend x slots cell journals the
+        # same content-addressed records
+        "all_journals_identical": bool(hash_sets)
+        and all(hashes == hash_sets[0] for hashes in hash_sets),
+    }
+    return {
+        "benchmark": "bench_sweep_fanout",
+        "config": "scaled",
+        "input_set": INPUT_SET,
+        "mechanisms": list(MECHANISMS),
+        "versions": {
+            "python": platform.python_version(),
+            "python_implementation": platform.python_implementation(),
+        },
+        "cells": cells,
+        "headline": headline,
+    }
+
+
+def render(payload: Dict[str, Any]) -> str:
+    rows = []
+    for cell in payload["cells"]:
+        rows.append(
+            (
+                cell["backend"],
+                str(cell["jobs"]),
+                str(cell["n_jobs"]),
+                f"{cell['seconds']:.2f}",
+                f"{cell['jobs_per_minute']:,.0f}",
+                str(cell["failed"]) if cell["failed"] else "-",
+            )
+        )
+    headline = payload["headline"]
+    rows.append(
+        (
+            "[headline]",
+            "",
+            "",
+            "",
+            f"local {headline['local_jobs_per_minute']:,.0f} vs "
+            f"subprocess {headline['subprocess_jobs_per_minute']:,.0f}",
+            "identical" if headline["all_journals_identical"] else "MISMATCH",
+        )
+    )
+    return format_table(
+        ["backend", "--jobs", "matrix", "seconds", "jobs/min", "failed"],
+        rows,
+        title="Sweep fan-out throughput — backend dispatch overhead",
+    )
+
+
+def bench_sweep_fanout(benchmark, show):
+    """pytest entry: small matrix, jobs 1/2; correctness asserts only."""
+    payload = benchmark.pedantic(
+        lambda: compute(benchmarks=2, jobs_grid=(1, 2), repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    show(render(payload))
+    assert payload["headline"]["all_ok"]
+    assert payload["headline"]["all_journals_identical"]
+    assert all(cell["jobs_per_minute"] > 0 for cell in payload["cells"])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sweep fan-out throughput: local vs subprocess backend"
+    )
+    repo_root = Path(__file__).resolve().parent.parent
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=repo_root / "BENCH_sweep.json",
+        help="output JSON path (default: BENCH_sweep.json at repo root)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small matrix, jobs 1/2, one repeat (CI)",
+    )
+    parser.add_argument("--benchmarks", type=int, default=6,
+                        help="pointer workloads in the matrix")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed sweeps per cell (best-of)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        payload = compute(benchmarks=2, jobs_grid=(1, 2), repeats=1)
+    else:
+        payload = compute(
+            benchmarks=args.benchmarks, repeats=args.repeats
+        )
+    print(render(payload))
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    if not (
+        payload["headline"]["all_ok"]
+        and payload["headline"]["all_journals_identical"]
+    ):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

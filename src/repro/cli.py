@@ -13,6 +13,9 @@ Examples::
     python -m repro sweep --inject-faults plan.json --resume
     python -m repro serve --port 8713 --jobs 4
     python -m repro sweep --server http://127.0.0.1:8713
+    python -m repro sweep --backend subprocess --jobs 4
+    python -m repro sweep --backend remote --hosts hosts.toml --jobs 8
+    python -m repro worker --ping
     python -m repro journal verify .repro-checkpoints/sweep-abc.jsonl
     python -m repro cost
 
@@ -37,6 +40,7 @@ from repro.cost.hardware import baseline_costs, proposal_cost
 from repro.errors import ReproError, UsageError
 from repro.experiments.configs import MECHANISMS, get_mechanism
 from repro.experiments.engine import (
+    BACKEND_NAMES,
     CheckpointJournal,
     ExecutionEngine,
     FailedResult,
@@ -47,6 +51,7 @@ from repro.experiments.engine import (
     QuarantinePolicy,
     RetryPolicy,
     WatchdogPolicy,
+    create_backend,
     is_failed,
 )
 from repro.experiments.metrics import (
@@ -231,6 +236,12 @@ def cmd_sweep(args) -> int:
     if args.server:
         # the engine — and with it fault injection, telemetry recording,
         # and the checkpoint journal — lives in the server process
+        if args.backend != "local" or args.hosts:
+            raise UsageError(
+                "--backend/--hosts configure the engine, which runs "
+                "server-side; start the server with "
+                "`repro serve --backend ... --hosts HOSTS` instead"
+            )
         if args.inject_faults:
             raise UsageError(
                 "--inject-faults configures the engine, which runs "
@@ -304,15 +315,19 @@ def cmd_sweep(args) -> int:
             quarantine=QuarantinePolicy(max_crashes=args.max_crashes),
             fault_plan=fault_plan,
             tracer=tracer,
+            backend=create_backend(args.backend, hosts=args.hosts),
         )
-        with GracefulDrain() as drain:
-            report = engine.run(
-                jobs,
-                resume=args.resume,
-                progress=progress,
-                drain=drain,
-                retry_poisoned=args.retry_poisoned,
-            )
+        try:
+            with GracefulDrain() as drain:
+                report = engine.run(
+                    jobs,
+                    resume=args.resume,
+                    progress=progress,
+                    drain=drain,
+                    retry_poisoned=args.retry_poisoned,
+                )
+        finally:
+            engine.close()
     cells = report.by_cell()
     _not_run = JobFailure(
         "NotRun", "sweep interrupted before this cell ran", transient=True
@@ -333,6 +348,18 @@ def cmd_sweep(args) -> int:
             return None, None
         return outcome.attempts, round(outcome.backoff_total, 6)
 
+    def cell_provenance(benchmark: str, mechanism: str):
+        """(executor, host, queue seconds) for the export row, or nulls.
+
+        Stays null for cells resumed from journals written before
+        backends existed, and for FAILED cells (the export layer drops
+        provenance on failures regardless).
+        """
+        outcome = cells.get((benchmark, mechanism))
+        if outcome is None:
+            return None, None, None
+        return outcome.executor, outcome.host, outcome.queue_seconds
+
     def cell_series_file(benchmark: str, mechanism: str):
         """Recompute the worker's deterministic series path (if recorded)."""
         if telemetry_dir is None:
@@ -348,18 +375,22 @@ def cmd_sweep(args) -> int:
         cells_row = [bench]
         base = baselines[bench]
         attempts, backoff = cell_retry_schedule(bench, "baseline")
+        executor, host, queued = cell_provenance(bench, "baseline")
         export_records.append(result_record(
             bench, "baseline", base,
             series_file=cell_series_file(bench, "baseline"),
             attempts=attempts, backoff_seconds=backoff,
+            executor=executor, host=host, queue_seconds=queued,
         ))
         for mechanism in mechanisms:
             result = result_of(bench, mechanism)
             attempts, backoff = cell_retry_schedule(bench, mechanism)
+            executor, host, queued = cell_provenance(bench, mechanism)
             export_records.append(result_record(
                 bench, mechanism, result,
                 series_file=cell_series_file(bench, mechanism),
                 attempts=attempts, backoff_seconds=backoff,
+                executor=executor, host=host, queue_seconds=queued,
             ))
             if is_failed(result) or is_failed(base):
                 cells_row.append(str(result if is_failed(result) else base))
@@ -512,6 +543,7 @@ def cmd_serve(args) -> int:
         watchdog=watchdog,
         quarantine=QuarantinePolicy(max_crashes=args.max_crashes),
         fault_plan=fault_plan,
+        backend=create_backend(args.backend, hosts=args.hosts),
     )
     server = SimulationServer(
         engine,
@@ -526,7 +558,35 @@ def cmd_serve(args) -> int:
         telemetry_dir=telemetry_dir,
         events_path=events_path,
     )
-    return serve_forever(server)
+    try:
+        return serve_forever(server)
+    finally:
+        engine.close()
+
+
+def cmd_worker(args) -> int:
+    """Speak the stdio job protocol — or self-check that this host can."""
+    if args.serve_stdio:
+        from repro.experiments.engine.worker import serve_stdio
+
+        return serve_stdio()
+    # --ping: spawn one worker exactly the way a backend would and
+    # round-trip a health check — the one-command install check for a
+    # prospective remote host
+    from repro.experiments.engine.backends.stdio import (
+        StdioTransport,
+        child_environment,
+        worker_argv,
+    )
+
+    transport = StdioTransport(worker_argv(), env=child_environment())
+    try:
+        pong = transport.ping(args.timeout)
+    finally:
+        transport.shutdown()
+    info = {key: pong.get(key) for key in ("host", "pid", "python")}
+    print(json.dumps(info, sort_keys=True))
+    return 0
 
 
 def _journal_at(path: str) -> CheckpointJournal:
@@ -800,6 +860,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of a local engine; identical cells are "
                         "served from the server's content-addressed "
                         "result cache without re-execution")
+    p.add_argument("--backend", default="local", choices=list(BACKEND_NAMES),
+                   help="executor backend: 'local' fork-pool workers "
+                        "(default), 'subprocess' isolated worker "
+                        "processes over pipes, 'remote' workers on the "
+                        "hosts in --hosts; every backend shares the "
+                        "same checkpoint journal, so a sweep can resume "
+                        "on a different backend than it started on")
+    p.add_argument("--hosts", metavar="FILE", default=None,
+                   help="host inventory (TOML on Python 3.11+, or JSON) "
+                        "for --backend remote: per-host command, python, "
+                        "capacity, tags")
     common(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -853,9 +924,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-faults", metavar="PLAN.json", default=None,
                    help="chaos testing: inject worker/journal/engine "
                         "faults into the service's engine")
+    p.add_argument("--backend", default="local", choices=list(BACKEND_NAMES),
+                   help="executor backend the service's engine dispatches "
+                        "through (default local)")
+    p.add_argument("--hosts", metavar="FILE", default=None,
+                   help="host inventory file for --backend remote")
     p.add_argument("--debug", action="store_true",
                    help="print full tracebacks instead of one-line errors")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="run as an executor-backend worker (used by the subprocess "
+             "and remote backends; not normally run by hand)",
+    )
+    mode = p.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--serve-stdio", action="store_true",
+                      help="serve the line-delimited JSON job protocol on "
+                           "stdin/stdout until EOF or a shutdown request")
+    mode.add_argument("--ping", action="store_true",
+                      help="spawn one worker the way a backend would and "
+                           "health-check it — verifies this host's "
+                           "install before adding it to a --hosts file")
+    p.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
+                   help="--ping: how long to wait for the pong "
+                        "(default 10)")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "journal",

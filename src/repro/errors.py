@@ -145,6 +145,52 @@ class FaultPlanError(UsageError):
     """A fault-injection plan is malformed (unknown kind, bad coordinates)."""
 
 
+class BackendError(JobError):
+    """An executor backend failed outside any particular job's code.
+
+    The job itself may be perfectly fine — the transport that was meant
+    to carry it broke.  Concrete subclasses say *where*: connecting
+    (:class:`BackendConnectError`), mid-flight (:class:`HostLostError`),
+    or on the acknowledgement path (:class:`PartitionedAckError`).
+    """
+
+
+class BackendConnectError(BackendError):
+    """A backend could not reach (or spawn) a worker to run the job.
+
+    Transient: the host may come back, another host may pick the job up,
+    and the retry budget bounds how long the engine keeps trying.
+    """
+
+    transient = True
+
+
+class HostLostError(BackendError):
+    """The host running a job disappeared mid-flight.
+
+    Transient: the job never completed anywhere, so re-running it on a
+    surviving host is always safe — job identity is content-hashed and
+    the journal only records terminal outcomes.
+    """
+
+    transient = True
+
+
+class PartitionedAckError(BackendError):
+    """A job's result acknowledgement was lost to a network partition.
+
+    The work may even have finished on the far side, but the engine
+    never saw a trustworthy outcome.  Transient: simulations are
+    deterministic, so re-running converges to the identical record.
+    """
+
+    transient = True
+
+
+class HostsFileError(UsageError):
+    """A ``--hosts`` inventory file is malformed or unreadable."""
+
+
 class ServiceError(ReproError):
     """A job-service request failed (transport, protocol, or server side).
 
@@ -162,10 +208,21 @@ class ServiceBusyError(ServiceError):
 
     Transient by design: the request was valid, the server was full —
     retrying after some in-flight work settles is the correct response,
-    and it is exactly what the sweep client does.
+    and it is exactly what the sweep client does.  ``retry_after``
+    carries the server's ``Retry-After`` pacing hint in seconds (None
+    when the server sent no hint).
     """
 
     transient = True
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ):
+        super().__init__(message, status=status)
+        self.retry_after = retry_after
 
 
 class SweepInterrupted(ReproError):

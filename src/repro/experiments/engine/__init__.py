@@ -39,6 +39,16 @@ Quick tour::
         print(failure.job.label, failure.failure.reason)
 """
 
+from repro.experiments.engine.backends import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    HostSpec,
+    LocalBackend,
+    RemoteBackend,
+    SubprocessBackend,
+    create_backend,
+    load_hosts,
+)
 from repro.experiments.engine.checkpoint import (
     CheckpointJournal,
     JournalSalvage,
@@ -47,6 +57,7 @@ from repro.experiments.engine.checkpoint import (
 )
 from repro.experiments.engine.executor import ExecutionEngine, SweepReport
 from repro.experiments.engine.faults import (
+    BACKEND_FAULTS,
     FAULT_KINDS,
     FaultPlan,
     FaultSpec,
@@ -68,9 +79,18 @@ from repro.experiments.engine.supervise import GracefulDrain, WatchdogPolicy
 from repro.experiments.engine.worker import default_worker
 
 __all__ = [
+    "BACKEND_FAULTS",
+    "BACKEND_NAMES",
     "CheckpointJournal",
     "ExecutionEngine",
+    "ExecutorBackend",
     "FAULT_KINDS",
+    "HostSpec",
+    "LocalBackend",
+    "RemoteBackend",
+    "SubprocessBackend",
+    "create_backend",
+    "load_hosts",
     "FailedResult",
     "FaultPlan",
     "FaultSpec",

@@ -36,15 +36,30 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from repro.errors import CheckpointError
 from repro.experiments.engine.job import JobResult, snapshot_metrics
 
+try:  # POSIX advisory locks for concurrent journal writers
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
 PathLike = Union[str, Path]
 
 #: default directory for sweep journals, relative to the working directory
 DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
 
 #: record fields that legitimately differ between two runs of the same
-#: job (wall-clock, retry history); everything else is *content* — the
-#: chaos convergence property compares records with these removed
-VOLATILE_FIELDS = ("duration", "attempts", "backoff_seconds", "crashes")
+#: job (wall-clock, retry history, which backend/host happened to run
+#: it); everything else is *content* — the chaos convergence property
+#: compares records with these removed, and it is exactly why the same
+#: matrix run on different executor backends hashes identical
+VOLATILE_FIELDS = (
+    "duration",
+    "attempts",
+    "backoff_seconds",
+    "crashes",
+    "executor",
+    "host",
+    "queue_seconds",
+)
 
 #: cap on per-line diagnostics retained by a salvage report
 _MAX_BAD_LINES = 32
@@ -72,6 +87,15 @@ def journal_record(outcome: JobResult) -> dict:
     if outcome.crashes:
         record["crashes"] = outcome.crashes
     if outcome.ok:
+        # execution provenance (volatile: never part of the content
+        # hash) — recorded for successful runs only, so FAILED rows keep
+        # nulls all the way to the export
+        if outcome.executor is not None:
+            record["executor"] = outcome.executor
+        if outcome.host is not None:
+            record["host"] = outcome.host
+        if outcome.queue_seconds is not None:
+            record["queue_seconds"] = round(outcome.queue_seconds, 6)
         record["metrics"] = snapshot_metrics(outcome.result)
     elif outcome.failure is not None:
         record["error"] = {
@@ -317,6 +341,13 @@ class CheckpointJournal:
         *mutate*, when given, is applied to the encoded line just before
         the write — the fault-injection hook (torn/corrupted/failing
         writes) that the chaos suite uses to attack this very format.
+
+        Concurrent writers are safe: every record takes an exclusive
+        ``flock`` on the journal for the single ``write`` + flush +
+        fsync, so two engines (any backend mix) appending to one shared
+        journal can interleave *records* but never tear them.  Each call
+        opens a fresh descriptor, so the per-fd lock serializes threads
+        and processes alike.
         """
         line = frame_record(journal_record(outcome))
         try:
@@ -324,9 +355,15 @@ class CheckpointJournal:
                 line = mutate(line)
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with open(self.path, "a") as stream:
-                stream.write(line)
-                stream.flush()
-                os.fsync(stream.fileno())
+                if fcntl is not None:
+                    fcntl.flock(stream.fileno(), fcntl.LOCK_EX)
+                try:
+                    stream.write(line)
+                    stream.flush()
+                    os.fsync(stream.fileno())
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(stream.fileno(), fcntl.LOCK_UN)
         except OSError as error:
             raise CheckpointError(
                 f"cannot write checkpoint {self.path}: {error}"

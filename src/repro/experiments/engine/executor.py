@@ -1,17 +1,26 @@
-"""Process-pool executor: crash isolation, timeouts, retries, resume.
+"""Sweep executor: crash isolation, timeouts, retries, resume — anywhere.
 
-Each job attempt runs in its own worker process connected to the parent
-by a one-way pipe.  The parent multiplexes over every live pipe *and*
-every process sentinel, so all failure shapes are observed directly:
+Scheduling *policy* lives here; the *transport* that physically runs an
+attempt is a pluggable :class:`~repro.experiments.engine.backends.
+ExecutorBackend` — the default :class:`~repro.experiments.engine.
+backends.LocalBackend` forks a worker process per attempt (today's
+behavior, bit-identical), the ``subprocess`` backend spawns isolated
+``repro worker --serve-stdio`` interpreters, and the ``remote`` backend
+drives the same workers on other machines over ssh.  Whatever carries
+the attempt, every failure shape lands in the same settle path:
 
 * the worker reports — ``("ok", result)`` or ``("error", info)``;
-* the worker dies silently (segfault, ``os._exit``, OOM kill) — its
-  sentinel fires with no message queued → :class:`WorkerCrashError`;
-* the worker exceeds its wall-clock deadline → SIGTERM, then SIGKILL →
+* the worker dies silently (segfault, ``os._exit``, OOM kill, dead ssh
+  connection) → :class:`WorkerCrashError`;
+* the worker exceeds its wall-clock deadline → cancelled →
   :class:`JobTimeoutError`;
 * under a :class:`~repro.experiments.engine.supervise.WatchdogPolicy`,
   the worker stops heartbeating — wedged, not merely slow — and is
-  killed past the no-progress deadline → :class:`WorkerStalledError`.
+  cancelled past the no-progress deadline → :class:`WorkerStalledError`;
+* the backend itself fails — a dispatch that reaches no worker
+  (:class:`BackendConnectError`), a host lost mid-job
+  (:class:`HostLostError`), an acknowledgement eaten by a partition
+  (:class:`PartitionedAckError`) — all transient, all retried.
 
 Transient failures re-enter the queue with exponential backoff until the
 retry budget is spent; a job whose attempts keep *killing the worker* is
@@ -19,29 +28,34 @@ quarantined by the :class:`~repro.experiments.engine.retry.
 QuarantinePolicy` (journaled FAILED-poison, excluded from resume
 retries).  Every terminal outcome is appended to the checkpoint journal
 before the next job is scheduled, so at any kill point the journal
-describes exactly the completed prefix of the sweep; a failed journal
-write (disk full) degrades to a warning, never an aborted sweep.
+describes exactly the completed prefix of the sweep — and because job
+identity is content-hashed, one journal can be shared by any mix of
+backends across any number of resumes.  A failed journal write (disk
+full) degrades to a warning, never an aborted sweep.
 
 The executor is also the chaos harness: a
-:class:`~repro.experiments.engine.faults.FaultPlan` injects worker and
-journal faults at deterministic (job, attempt) coordinates, and a
-:class:`~repro.experiments.engine.supervise.GracefulDrain` turns
-SIGTERM/SIGINT into a checkpointed stop (finish in-flight work, journal
-it, return an ``interrupted`` report).
+:class:`~repro.experiments.engine.faults.FaultPlan` injects worker,
+journal, *and backend* faults at deterministic (job, attempt)
+coordinates, and a :class:`~repro.experiments.engine.supervise.
+GracefulDrain` turns SIGTERM/SIGINT into a checkpointed stop (finish
+in-flight work, journal it, return an ``interrupted`` report).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import random
 import time
 import warnings
 from collections import deque
 from dataclasses import dataclass, field
-from multiprocessing.connection import wait as _wait_ready
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import CheckpointError, SweepInterrupted
+from repro.experiments.engine.backends import (
+    ExecutorBackend,
+    create_backend,
+)
+from repro.experiments.engine.backends.local import LocalBackend
 from repro.experiments.engine.checkpoint import (
     CheckpointJournal,
     JournalSalvage,
@@ -55,7 +69,7 @@ from repro.experiments.engine.job import (
 )
 from repro.experiments.engine.retry import QuarantinePolicy, RetryPolicy
 from repro.experiments.engine.supervise import GracefulDrain, WatchdogPolicy
-from repro.experiments.engine.worker import default_worker, worker_shim
+from repro.experiments.engine.worker import default_worker
 
 #: upper bound on one scheduler tick, so deadlines are checked promptly
 _MAX_TICK = 0.2
@@ -75,19 +89,21 @@ class _Attempt:
     backoff_total: float = 0.0
     #: worker deaths this job has caused (journal-seeded across resumes)
     crashes: int = 0
+    #: when this attempt entered the queue (monotonic)
+    enqueued: float = 0.0
+    #: seconds spent queued beyond scheduled backoff, across attempts
+    queue_total: float = 0.0
 
 
 @dataclass
 class _Running:
-    """A live worker process and the attempt it is executing."""
+    """A live attempt: its backend handle plus scheduling state."""
 
     entry: _Attempt
-    process: object
-    conn: object
+    handle: object
     deadline: Optional[float]
-    started: float
-    #: monotonic time of the last heartbeat (0.0 = none seen yet)
-    last_beat: float = 0.0
+    #: a resolved backend fault to deliver on this attempt (chaos)
+    backend_fault: object = None
 
 
 @dataclass
@@ -164,6 +180,7 @@ class ExecutionEngine:
         quarantine: Optional[QuarantinePolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         tracer=None,
+        backend: Union[None, str, ExecutorBackend] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
@@ -174,16 +191,22 @@ class ExecutionEngine:
         self.quarantine = quarantine or QuarantinePolicy()
         self.fault_plan = fault_plan
         #: anything with EventTracer's ``emit`` surface; engine events
-        #: (retry/quarantine/watchdog/journal) land here when attached
+        #: (retry/quarantine/watchdog/journal/dispatch) land here
         self.tracer = tracer
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else "spawn"
-        self._ctx = multiprocessing.get_context(start_method)
+        if backend is None:
+            backend = LocalBackend(start_method=start_method)
+        elif isinstance(backend, str):
+            backend = create_backend(backend, start_method=start_method)
+        self.backend: ExecutorBackend = backend
+        self.backend.bind(self.worker, self._emit, self.jobs)
         self._rng = random.Random(seed)
         self._t0 = 0.0
 
     # -- public ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the backend's transport resources (worker pools)."""
+        self.backend.close()
 
     def run(
         self,
@@ -220,6 +243,7 @@ class ExecutionEngine:
                 )
         pending: "deque[_Attempt]" = deque()
         seen = set()
+        now = time.monotonic()
         for job in jobs:
             key = job.key()
             if key in seen:
@@ -236,13 +260,13 @@ class ExecutionEngine:
                 crashes = 0
                 if record is not None and not retry_poisoned:
                     crashes = int(record.get("crashes", 0) or 0)
-                pending.append(_Attempt(job, crashes=crashes))
+                pending.append(_Attempt(job, crashes=crashes, enqueued=now))
         running: List[_Running] = []
         try:
             while pending or running:
                 draining = drain is not None and drain.requested
                 if not draining:
-                    self._launch(pending, running)
+                    self._launch(pending, running, report, progress)
                 elif not running:
                     report.interrupted = True
                     self._emit("drain", None, abandoned=len(pending))
@@ -250,8 +274,7 @@ class ExecutionEngine:
                 self._reap(pending, running, report, progress)
         finally:
             for live in running:  # interrupted: leave no orphans behind
-                self._kill(live.process)
-                self._close(live.conn)
+                self.backend.cancel(live.handle)
         return report
 
     def _replay(
@@ -270,6 +293,9 @@ class ExecutionEngine:
                 backoff_total=float(record.get("backoff_seconds", 0.0)),
                 crashes=int(record.get("crashes", 0) or 0),
                 resumed=True,
+                executor=record.get("executor"),
+                host=record.get("host"),
+                queue_seconds=record.get("queue_seconds"),
             )
         error = record.get("error") or {}
         if error.get("poison") and not retry_poisoned:
@@ -293,126 +319,208 @@ class ExecutionEngine:
 
     # -- scheduling --------------------------------------------------------
 
-    def _launch(self, pending, running) -> None:
-        now = time.monotonic()
+    def _launch(self, pending, running, report, progress) -> None:
         for _ in range(len(pending)):
-            if len(running) >= self.jobs:
+            if len(running) >= self.backend.capacity():
                 return
+            now = time.monotonic()
             entry = pending.popleft()
             if entry.not_before > now:
                 pending.append(entry)  # still backing off; try the next
                 continue
-            fault = None
+            worker_fault = None
+            backend_fault = None
             if self.fault_plan is not None:
-                fault = self.fault_plan.worker_fault(
+                worker_fault = self.fault_plan.worker_fault(
                     entry.job, entry.attempt
                 )
-                if fault is not None:
-                    self._emit(
-                        "fault",
-                        entry.job.label,
-                        kind=fault.kind,
-                        attempt=entry.attempt,
-                    )
+                backend_fault = self.fault_plan.backend_fault(
+                    entry.job, entry.attempt
+                )
+                for fault in (worker_fault, backend_fault):
+                    if fault is not None:
+                        self._emit(
+                            "fault",
+                            entry.job.label,
+                            kind=fault.kind,
+                            attempt=entry.attempt,
+                        )
+            entry.queue_total += max(
+                0.0, now - max(entry.enqueued, entry.not_before)
+            )
+            if (
+                backend_fault is not None
+                and backend_fault.kind == "connect-fail"
+            ):
+                # the dispatch never reaches a worker
+                self._settle(
+                    entry,
+                    (
+                        "error",
+                        {
+                            "type": "BackendConnectError",
+                            "message": "injected: backend connect failed",
+                            "transient": True,
+                        },
+                    ),
+                    duration=0.0,
+                    host=None,
+                    pending=pending,
+                    report=report,
+                    progress=progress,
+                )
+                continue
             heartbeat = (
                 self.watchdog.interval if self.watchdog is not None else None
             )
-            recv_conn, send_conn = self._ctx.Pipe(duplex=False)
-            process = self._ctx.Process(
-                target=worker_shim,
-                args=(send_conn, self.worker, entry.job, fault, heartbeat),
-                daemon=True,
+            try:
+                handle = self.backend.submit(
+                    entry.job,
+                    entry.attempt,
+                    fault=worker_fault,
+                    heartbeat=heartbeat,
+                )
+            except Exception as error:
+                # a transport failure is a job failure shape the retry
+                # policy already understands — never an aborted sweep
+                self._settle(
+                    entry,
+                    (
+                        "error",
+                        {
+                            "type": type(error).__name__,
+                            "message": str(error),
+                            "transient": bool(
+                                getattr(error, "transient", True)
+                            ),
+                        },
+                    ),
+                    duration=0.0,
+                    host=None,
+                    pending=pending,
+                    report=report,
+                    progress=progress,
+                )
+                continue
+            self._emit(
+                "dispatch",
+                entry.job.label,
+                backend=self.backend.name,
+                host=handle.host,
+                attempt=entry.attempt,
             )
-            process.start()
-            send_conn.close()  # child holds the only writer now
-            started = time.monotonic()
-            deadline = started + self.timeout if self.timeout else None
+            deadline = (
+                handle.started + self.timeout if self.timeout else None
+            )
             running.append(
-                _Running(entry, process, recv_conn, deadline, started)
+                _Running(entry, handle, deadline, backend_fault)
             )
 
     def _reap(self, pending, running, report, progress) -> None:
         if not running:
-            if pending:  # everything is backing off; sleep to the nearest
+            if pending:
                 wake = min(entry.not_before for entry in pending)
                 delay = wake - time.monotonic()
-                if delay > 0:
+                if delay > 0:  # everything is backing off
                     time.sleep(min(delay, _MAX_TICK))
+                elif self.backend.capacity() <= 0:
+                    # nowhere to launch (every host lost): idle a tick
+                    # while health cooldowns run down
+                    time.sleep(_MAX_TICK / 4)
             return
-        handles = [live.conn for live in running]
-        handles += [live.process.sentinel for live in running]
-        _wait_ready(handles, timeout=self._tick(pending, running))
-        now = time.monotonic()
-        still_running: List[_Running] = []
+        settled: List[Tuple[_Running, tuple]] = []
+        polling: List[_Running] = []
         for live in running:
-            outcome = self._poll(live, now)
-            if outcome is None:
-                still_running.append(live)
-            else:
-                self._settle(live, outcome, pending, report, progress)
-        running[:] = still_running
-
-    def _tick(self, pending, running) -> float:
-        now = time.monotonic()
-        tick = _MAX_TICK
-        for live in running:
-            if live.deadline is not None:
-                tick = min(tick, live.deadline - now)
-            if self.watchdog is not None:
-                stall_at = (
-                    max(live.started, live.last_beat)
-                    + self.watchdog.no_progress_timeout
-                )
-                tick = min(tick, stall_at - now)
-        for entry in pending:
-            if entry.not_before:
-                tick = min(tick, entry.not_before - now)
-        return max(0.01, tick)
-
-    # -- outcome handling --------------------------------------------------
-
-    def _poll(self, live: _Running, now: float):
-        """The attempt's outcome message, or None if still running."""
-        outcome = None
-        pipe_broken = False
-        while True:  # drain heartbeats queued ahead of the outcome
-            try:
-                if not live.conn.poll():
-                    break
-            except (OSError, ValueError):
-                break
-            try:
-                message = live.conn.recv()
-            except (EOFError, OSError):  # died mid-send
-                pipe_broken = True
-                break
             if (
-                isinstance(message, tuple)
-                and message
-                and message[0] == "heartbeat"
+                live.backend_fault is not None
+                and live.backend_fault.kind == "host-loss"
             ):
-                live.last_beat = time.monotonic()
+                # the host dies mid-job: kill the attempt through the
+                # backend (remote backends also mark the host lost)
+                self.backend.lose_host(live.handle)
+                self._emit(
+                    "host-lost",
+                    live.entry.job.label,
+                    host=live.handle.host,
+                    attempt=live.entry.attempt,
+                )
+                settled.append(
+                    (
+                        live,
+                        (
+                            "error",
+                            {
+                                "type": "HostLostError",
+                                "message": (
+                                    "injected: host lost mid-job"
+                                ),
+                                "transient": True,
+                            },
+                        ),
+                    )
+                )
+            else:
+                polling.append(live)
+        by_handle = {id(live.handle): live for live in polling}
+        outcomes = self.backend.poll(
+            [live.handle for live in polling],
+            timeout=self._tick(pending, running) if not settled else 0.0,
+        )
+        for handle, outcome in outcomes:
+            live = by_handle.pop(id(handle), None)
+            if live is None:
                 continue
-            outcome = message
-            break
-        if outcome is not None:
-            live.process.join(5)
-            if live.process.is_alive():
-                self._kill(live.process)
-            return outcome
-        if pipe_broken:
-            live.process.join(5)
-            if live.process.is_alive():
-                self._kill(live.process)
-            return self._crash_outcome(live)
-        if not live.process.is_alive():
-            live.process.join()
-            return self._crash_outcome(live)
+            if (
+                live.backend_fault is not None
+                and live.backend_fault.kind == "partitioned-ack"
+            ):
+                # the result arrived but its acknowledgement is lost:
+                # the engine must behave as if it never saw it
+                self._emit(
+                    "partitioned-ack",
+                    live.entry.job.label,
+                    attempt=live.entry.attempt,
+                )
+                outcome = (
+                    "error",
+                    {
+                        "type": "PartitionedAckError",
+                        "message": (
+                            "injected: result acknowledgement lost"
+                        ),
+                        "transient": True,
+                    },
+                )
+            settled.append((live, outcome))
+        now = time.monotonic()
+        for live in by_handle.values():  # still in flight: enforce policy
+            outcome = self._overdue(live, now)
+            if outcome is not None:
+                settled.append((live, outcome))
+        settled_set = {id(live) for live, _ in settled}
+        running[:] = [
+            live for live in running if id(live) not in settled_set
+        ]
+        for live, outcome in settled:
+            duration = time.monotonic() - (live.handle.started or now)
+            self._settle(
+                live.entry,
+                outcome,
+                duration=duration,
+                host=live.handle.host,
+                pending=pending,
+                report=report,
+                progress=progress,
+            )
+
+    def _overdue(self, live: _Running, now: float):
+        """A watchdog/timeout outcome for an in-flight attempt, or None."""
+        handle = live.handle
         if self.watchdog is not None:
-            last_progress = max(live.started, live.last_beat)
+            last_progress = max(handle.started, handle.last_beat)
             stalled_for = now - last_progress
             if stalled_for >= self.watchdog.no_progress_timeout:
-                self._kill(live.process)
+                self.backend.cancel(handle)
                 self._emit(
                     "watchdog",
                     live.entry.job.label,
@@ -432,7 +540,7 @@ class ExecutionEngine:
                     },
                 )
         if live.deadline is not None and now >= live.deadline:
-            self._kill(live.process)
+            self.backend.cancel(handle)
             return (
                 "error",
                 {
@@ -443,29 +551,36 @@ class ExecutionEngine:
             )
         return None
 
-    def _crash_outcome(self, live: _Running):
-        exitcode = live.process.exitcode
-        return (
-            "error",
-            {
-                "type": "WorkerCrashError",
-                "message": (
-                    f"worker died without a result (exit code {exitcode})"
-                ),
-                "transient": True,
-            },
-        )
+    def _tick(self, pending, running) -> float:
+        now = time.monotonic()
+        tick = _MAX_TICK
+        for live in running:
+            if live.deadline is not None:
+                tick = min(tick, live.deadline - now)
+            if self.watchdog is not None:
+                stall_at = (
+                    max(live.handle.started, live.handle.last_beat)
+                    + self.watchdog.no_progress_timeout
+                )
+                tick = min(tick, stall_at - now)
+        for entry in pending:
+            if entry.not_before:
+                tick = min(tick, entry.not_before - now)
+        return max(0.01, tick)
 
-    def _settle(self, live, outcome, pending, report, progress) -> None:
-        self._close(live.conn)
-        entry = live.entry
-        duration = time.monotonic() - live.started
+    # -- outcome handling --------------------------------------------------
+
+    def _settle(
+        self, entry, outcome, duration, host, pending, report, progress
+    ) -> None:
         kind, payload = outcome
         if kind == "ok":
             result = JobResult(
                 entry.job, "ok", result=payload,
                 attempts=entry.attempt, duration=duration,
                 backoff_total=entry.backoff_total, crashes=entry.crashes,
+                executor=self.backend.name, host=host,
+                queue_seconds=round(entry.queue_total, 6),
             )
         else:
             failure = JobFailure(
@@ -501,13 +616,16 @@ class ExecutionEngine:
                     delay=round(delay, 3),
                     error=failure.error_type,
                 )
+                now = time.monotonic()
                 pending.append(
                     _Attempt(
                         entry.job,
                         entry.attempt + 1,
-                        time.monotonic() + delay,
+                        now + delay,
                         entry.backoff_total + delay,
                         entry.crashes,
+                        enqueued=now,
+                        queue_total=entry.queue_total,
                     )
                 )
                 return  # not terminal yet: no record, no report entry
@@ -515,6 +633,8 @@ class ExecutionEngine:
                 entry.job, "failed", failure=failure,
                 attempts=entry.attempt, duration=duration,
                 backoff_total=entry.backoff_total, crashes=entry.crashes,
+                executor=self.backend.name, host=host,
+                queue_seconds=round(entry.queue_total, 6),
             )
         report.results[entry.job.key()] = result
         self._record(result, entry, report)
@@ -573,24 +693,3 @@ class ExecutionEngine:
             )
         except Exception:
             pass  # telemetry must never take down a sweep
-
-    # -- process plumbing --------------------------------------------------
-
-    @staticmethod
-    def _kill(process) -> None:
-        try:
-            if process.is_alive():
-                process.terminate()
-                process.join(0.5)
-            if process.is_alive():
-                process.kill()
-                process.join(5)
-        except (OSError, ValueError, AttributeError):
-            pass
-
-    @staticmethod
-    def _close(conn) -> None:
-        try:
-            conn.close()
-        except Exception:
-            pass

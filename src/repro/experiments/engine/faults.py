@@ -13,7 +13,14 @@ them at the two places a sweep can break:
   applied by the checkpoint journal's write hook — the record line is
   truncated mid-byte, bit-flipped, or the write raises ``ENOSPC``;
 * **``abort``** stops the scheduler loop right after the matching job is
-  journaled, simulating ``kill -9`` at a deterministic point.
+  journaled, simulating ``kill -9`` at a deterministic point;
+* **backend faults** (``connect-fail``, ``host-loss``,
+  ``partitioned-ack``) are applied by the executor around the
+  :class:`~repro.experiments.engine.backends.ExecutorBackend` protocol —
+  a dispatch that never reaches a worker, a host killed mid-flight, a
+  result whose acknowledgement the partition ate.  They attack the
+  *transport*, so the same plan exercises local pools, subprocess pools,
+  and remote hosts identically.
 
 Every fault fires at most once per (fault, job, attempt) coordinate, so
 a plan is idempotent within a run; plans serialize to JSON
@@ -49,9 +56,15 @@ WORKER_FAULTS = ("crash", "hang", "slow-start", "unpicklable")
 JOURNAL_FAULTS = ("torn-write", "corrupt-write", "enospc")
 #: faults applied to the scheduler itself
 ENGINE_FAULTS = ("abort",)
+#: faults applied to the executor backend carrying the job: the dispatch
+#: fails to reach a worker (``connect-fail``), the host dies mid-flight
+#: (``host-loss``), or the result acknowledgement is lost to a partition
+#: (``partitioned-ack``).  Delivered by the executor around the backend
+#: protocol, so every backend — local pool included — is attackable.
+BACKEND_FAULTS = ("connect-fail", "host-loss", "partitioned-ack")
 
 #: the full catalog, in documentation order
-FAULT_KINDS = WORKER_FAULTS + JOURNAL_FAULTS + ENGINE_FAULTS
+FAULT_KINDS = WORKER_FAULTS + JOURNAL_FAULTS + ENGINE_FAULTS + BACKEND_FAULTS
 
 #: exit code of an injected worker crash (distinctive in crash reports)
 CRASH_EXIT_CODE = 70
@@ -241,6 +254,10 @@ class FaultPlan:
     def abort_after(self, job, attempt: int) -> bool:
         """Abort the sweep right after this job settles?"""
         return self._take(job, attempt, ENGINE_FAULTS) is not None
+
+    def backend_fault(self, job, attempt: int) -> Optional[FaultSpec]:
+        """The backend/transport fault for this launch, if any."""
+        return self._take(job, attempt, BACKEND_FAULTS)
 
 
 # -- delivery ---------------------------------------------------------------

@@ -141,6 +141,13 @@ class JobResult:
     crashes: int = 0
     #: True when this outcome was replayed from a checkpoint journal
     resumed: bool = False
+    #: which executor backend ran the job ("local", "subprocess",
+    #: "remote"); None for results rehydrated from pre-backend journals
+    executor: Optional[str] = None
+    #: host the successful attempt ran on (remote backends; None local)
+    host: Optional[str] = None
+    #: seconds the job sat queued beyond scheduled retry backoff
+    queue_seconds: Optional[float] = None
 
     @property
     def ok(self) -> bool:

@@ -35,6 +35,9 @@ FIELDS = [
     "intervals_completed",
     "attempts",
     "backoff_seconds",
+    "executor",
+    "host",
+    "queue_seconds",
     "error_type",
     "series_file",
 ]
@@ -47,6 +50,9 @@ def result_record(
     series_file: Union[str, None] = None,
     attempts: Union[int, None] = None,
     backoff_seconds: Union[float, None] = None,
+    executor: Union[str, None] = None,
+    host: Union[str, None] = None,
+    queue_seconds: Union[float, None] = None,
 ) -> Dict:
     """Flatten one run's metrics into an export row.
 
@@ -58,6 +64,13 @@ def result_record(
     ``attempts`` and ``backoff_seconds`` surface the engine's retry
     schedule (how many launches the cell took and how long backoff
     delayed it); they stay null for runs outside the sweep engine.
+
+    ``executor``, ``host``, and ``queue_seconds`` are execution
+    provenance: which backend ran the cell, on which host, and how long
+    it sat queued for a free slot.  They stay null for runs outside the
+    sweep engine, for journals written before backends existed, and —
+    deliberately — for FAILED rows, where no attempt is *the* one that
+    produced the cell.
 
     ``series_file`` optionally points at the per-interval telemetry
     series recorded for this cell (sweeps run with ``--telemetry``
@@ -93,6 +106,9 @@ def result_record(
         "intervals_completed": getattr(result, "intervals_completed", None),
         "attempts": attempts,
         "backoff_seconds": backoff_seconds,
+        "executor": executor,
+        "host": host,
+        "queue_seconds": queue_seconds,
         "error_type": None,
         "series_file": series_file,
     }

@@ -11,13 +11,17 @@ exporters, exit-code mapping) works unchanged with ``--server``.
 Backpressure is part of the protocol, not an error: a 429/503 surfaces
 as :class:`~repro.errors.ServiceBusyError` and ``run_jobs`` responds by
 collecting an outstanding result before retrying the submission — the
-client end of the server's quota design.
+client end of the server's quota design.  With nothing outstanding to
+collect, the client itself rides the rejection out: a bounded number of
+retries with exponential backoff, jittered, never sleeping less than
+the server's ``Retry-After`` hint.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any, Callable, Dict, List, Optional
 from urllib.parse import urlsplit
@@ -43,6 +47,9 @@ class ServiceClient:
         base_url: str,
         client_id: Optional[str] = None,
         timeout: float = 30.0,
+        busy_retries: int = 4,
+        busy_backoff: float = 0.05,
+        busy_backoff_cap: float = 2.0,
     ):
         split = urlsplit(base_url if "//" in base_url else f"//{base_url}")
         if split.scheme not in ("", "http"):
@@ -55,6 +62,14 @@ class ServiceClient:
         self.port = split.port or 80
         self.client_id = client_id
         self.timeout = timeout
+        #: how many times a busy (429/503) response is retried in-client
+        #: before :class:`ServiceBusyError` propagates to the caller
+        self.busy_retries = busy_retries
+        self.busy_backoff = busy_backoff
+        self.busy_backoff_cap = busy_backoff_cap
+        # seams for deterministic tests
+        self._sleep = time.sleep
+        self._random = random.random
 
     @property
     def base_url(self) -> str:
@@ -62,7 +77,57 @@ class ServiceClient:
 
     # -- transport ---------------------------------------------------------
 
+    def _busy_delay(self, attempt: int, hint: Optional[float]) -> float:
+        """Seconds to back off before busy-retry *attempt* (0-based).
+
+        Exponential in the attempt number, capped, never less than the
+        server's ``Retry-After`` hint, with upward-only jitter so a
+        fleet of clients bounced by the same 429 does not re-stampede
+        the server in lockstep.
+        """
+        delay = min(
+            self.busy_backoff * (2.0 ** attempt), self.busy_backoff_cap
+        )
+        if hint is not None:
+            delay = max(delay, float(hint))  # hint <= cap, by _request
+        return delay + self._random() * delay * 0.5
+
     def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        busy_retry: bool = True,
+    ) -> Any:
+        """One endpoint call, riding out bounded backpressure.
+
+        Busy responses (429/503) are retried up to ``busy_retries``
+        times with :meth:`_busy_delay` pacing — safe because every
+        endpoint is idempotent (submissions are content-addressed).
+        Two cases propagate the raw :class:`ServiceBusyError` instead:
+        callers that have a better use for the wait (the sweep client
+        collects an outstanding result) pass ``busy_retry=False``, and
+        a ``Retry-After`` hint beyond ``busy_backoff_cap`` means the
+        server expects to be busy for longer than a bounded in-call
+        retry should ever sleep — the caller decides what to do with
+        that much time.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceBusyError as error:
+                hint = error.retry_after
+                if (
+                    not busy_retry
+                    or attempt >= self.busy_retries
+                    or (hint is not None and hint > self.busy_backoff_cap)
+                ):
+                    raise
+                self._sleep(self._busy_delay(attempt, hint))
+                attempt += 1
+
+    def _request_once(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> Any:
         headers = {"Content-Type": "application/json"}
@@ -81,6 +146,7 @@ class ServiceClient:
                 connection.request(method, path, body=body, headers=headers)
                 response = connection.getresponse()
                 status = response.status
+                retry_header = response.getheader("Retry-After")
                 raw = response.read()
             finally:
                 connection.close()
@@ -106,24 +172,40 @@ class ServiceClient:
                 else f"HTTP {status}"
             )
             if status in (429, 503):
-                raise ServiceBusyError(message, status=status)
+                try:
+                    hint = (
+                        float(retry_header)
+                        if retry_header is not None
+                        else None
+                    )
+                except ValueError:
+                    hint = None
+                raise ServiceBusyError(
+                    message, status=status, retry_after=hint
+                )
             raise ServiceError(message, status=status)
         return decoded
 
     # -- endpoints ---------------------------------------------------------
 
-    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def submit(
+        self, payload: Dict[str, Any], busy_retry: bool = True
+    ) -> Dict[str, Any]:
         """POST one submission; returns the server's status payload."""
-        return self._request("POST", "/jobs", payload)
+        return self._request("POST", "/jobs", payload,
+                             busy_retry=busy_retry)
 
-    def submit_job(self, job: Job) -> Dict[str, Any]:
+    def submit_job(
+        self, job: Job, busy_retry: bool = True
+    ) -> Dict[str, Any]:
         """Submit a local :class:`Job`, guarding against identity skew.
 
         If the server derives a different content hash than the local
         ``job.key()``, client and server disagree about job identity —
         a version skew that would silently mis-cache.  Fail loudly.
         """
-        response = self.submit(submission_from_job(job))
+        response = self.submit(submission_from_job(job),
+                               busy_retry=busy_retry)
         if response.get("key") != job.key():
             raise ServiceError(
                 "job identity skew: server hashed "
@@ -232,14 +314,20 @@ def run_jobs(
         job = by_key[key]
         while True:
             try:
-                response = client.submit_job(job)
-            except ServiceBusyError:
+                # with work outstanding the best response to a busy
+                # server is collecting a result (frees quota headroom
+                # deterministically), not sleeping — so disable the
+                # client's own busy-retry loop for that case
+                response = client.submit_job(
+                    job, busy_retry=not outstanding
+                )
+            except ServiceBusyError as busy:
                 if outstanding:
                     collect_one()
                     continue
                 if time.monotonic() >= deadline:
                     raise
-                time.sleep(poll)
+                time.sleep(busy.retry_after or poll)
                 continue
             break
         if response.get("status") in TERMINAL_STATUSES:

@@ -173,6 +173,9 @@ def result_from_record(
             backoff_total=backoff,
             crashes=crashes,
             resumed=resumed,
+            executor=record.get("executor"),
+            host=record.get("host"),
+            queue_seconds=record.get("queue_seconds"),
         )
     error = record.get("error") or {}
     return JobResult(

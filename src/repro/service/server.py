@@ -603,10 +603,18 @@ class SimulationServer:
             ).encode("utf-8")
             content_type = "application/json"
         reason = _REASONS.get(status, "Unknown")
+        extra = ""
+        if status in (429, 503) and isinstance(payload, dict):
+            # mirror the JSON hint as the standard backpressure header so
+            # generic HTTP clients (and ours) can pace their retries
+            retry_after = payload.get("retry_after")
+            if isinstance(retry_after, (int, float)) and retry_after >= 0:
+                extra = f"Retry-After: {retry_after:g}\r\n"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + body)
