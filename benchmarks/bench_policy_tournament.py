@@ -1,0 +1,425 @@
+"""Policy tournament: every throttling controller, scored on perf/BW.
+
+The policy subsystem (``repro.policy``) makes the controller between
+the feedback collector and the aggressiveness ladders pluggable; this
+bench races the controllers against each other on the workload zoo and
+ranks them on the paper's own economy — performance delivered per unit
+of bus bandwidth spent.
+
+Three phases:
+
+1. **record** — run the default table3 controller with telemetry on
+   every tournament workload, persisting one interval series per
+   workload;
+2. **train** — fit the tabular Q-learning policy offline on those
+   recorded series (deterministic replay; the trained table travels
+   inside ``policy_params`` and therefore inside each job's content
+   hash);
+3. **tournament** — run every entrant on every workload through the
+   sweep engine and score each cell against the ``static-3`` entrant
+   (all prefetchers pinned Aggressive — the paper's no-throttling
+   baseline)::
+
+       score = (IPC / IPC_static3) / (BPKI / BPKI_static3)
+
+   A score above 1.0 means the controller bought a better
+   performance-per-bandwidth point than running wide open.
+
+Entrants: ``table3`` (the paper's heuristic), ``qlearn`` trained
+offline, ``bandit`` learning online, ``pid`` on accuracy, and the
+``static`` pin at levels 3 and 1.  The ranking is by geometric-mean
+score across workloads.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_policy_tournament.py --benchmark-only`` —
+  smoke variant (2 policies x 2 workloads on the test input; CI's
+  policy-smoke job);
+* ``PYTHONPATH=src python benchmarks/bench_policy_tournament.py`` —
+  the full tournament, written to ``BENCH_policy.json`` at the repo
+  root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.experiments.engine import (
+    CheckpointJournal,
+    ExecutionEngine,
+    Job,
+    RetryPolicy,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_benchmark
+from repro.policy import train_policy
+from repro.telemetry import Telemetry, TelemetryConfig, write_series_jsonl
+
+MECHANISM = "ecdp+throttle"
+WORKLOADS = ["mst", "health", "perimeter"]
+INPUT_SET = "train"
+
+SMOKE_WORKLOADS = ["mst", "health"]
+SMOKE_INPUT_SET = "test"
+
+#: the test input completes zero feedback intervals at scaled defaults,
+#: so the smoke tournament shrinks the L2 and the interval the same way
+#: the differential suite does — policies then act tens of times even
+#: on the tiny input
+SMOKE_OVERRIDES = {"l2_size": 8192, "interval_evictions": 32}
+
+#: the normalizer: every prefetcher pinned at Aggressive = no throttling
+NORMALIZER = "static-3"
+
+#: entrant name -> (policy, params); qlearn-trained params are injected
+#: after the training phase
+ENTRANTS: Dict[str, tuple] = {
+    "table3": ("table3", ""),
+    "qlearn-trained": ("qlearn", None),  # filled by train phase
+    "bandit-online": ("bandit", "epsilon=0.1,seed=3"),
+    "pid": ("pid", ""),
+    "static-3": ("static", "level=3"),
+    "static-1": ("static", "level=1"),
+}
+
+SMOKE_ENTRANTS = ["qlearn-trained", "static-3"]
+
+
+def record_series(
+    workloads: List[str], input_set: str, directory: Path,
+    config: SystemConfig,
+) -> List[str]:
+    """Phase 1: one table3-governed interval series per workload."""
+    directory.mkdir(parents=True, exist_ok=True)
+    files: List[str] = []
+    for workload in workloads:
+        telemetry = Telemetry(TelemetryConfig(series=True))
+        run_benchmark(
+            workload, MECHANISM, config,
+            input_set=input_set, telemetry=telemetry, use_cache=False,
+        )
+        path = directory / f"{workload}.series.jsonl"
+        write_series_jsonl(telemetry, path)
+        files.append(str(path))
+    return files
+
+
+def run_tournament(
+    entrants: Dict[str, tuple],
+    workloads: List[str],
+    input_set: str,
+    base: SystemConfig,
+    jobs: int = 2,
+    timeout: Optional[float] = 900.0,
+    checkpoint: Optional[CheckpointJournal] = None,
+    resume: bool = False,
+) -> Dict[str, Any]:
+    """Phase 3: the entrant x workload matrix through the sweep engine."""
+    matrix = []
+    job_entrant: Dict[str, str] = {}
+    for name, (policy, params) in entrants.items():
+        config = base.with_overrides(
+            throttle_policy=policy, policy_params=params
+        ).validate()
+        for workload in workloads:
+            job = Job(workload, MECHANISM, config, input_set=input_set)
+            matrix.append(job)
+            job_entrant[job.key()] = name
+    engine = ExecutionEngine(
+        jobs=jobs,
+        timeout=timeout,
+        retry=RetryPolicy(max_attempts=2),
+        checkpoint=checkpoint,
+    )
+    try:
+        report = engine.run(matrix, resume=resume)
+    finally:
+        engine.close()
+
+    cells: List[Dict[str, Any]] = []
+    failures: List[Dict[str, str]] = []
+    for outcome in report:
+        job = outcome.job
+        entrant = job_entrant[job.key()]
+        if not outcome.ok:
+            failures.append(
+                {"cell": f"{entrant}/{job.benchmark}",
+                 "reason": outcome.failure.reason}
+            )
+            continue
+        result = outcome.result
+        policy, params = entrants[entrant]
+        cells.append({
+            "workload": job.benchmark,
+            "entrant": entrant,
+            "policy": policy,
+            "policy_params": params,
+            "ipc": result.ipc,
+            "bpki": result.bpki,
+        })
+    return {"cells": cells, "failures": failures}
+
+
+def score_cells(cells: List[Dict[str, Any]]) -> None:
+    """Attach per-cell perf/BW scores vs the NORMALIZER entrant, in place."""
+    norms = {
+        cell["workload"]: cell
+        for cell in cells
+        if cell["entrant"] == NORMALIZER
+    }
+    for cell in cells:
+        norm = norms.get(cell["workload"])
+        if norm is None or not norm["ipc"]:
+            cell.update(ipc_ratio=None, bpki_ratio=None, score=None)
+            continue
+        ipc_ratio = cell["ipc"] / norm["ipc"]
+        bpki_ratio = (
+            max(cell["bpki"], 1e-9) / max(norm["bpki"], 1e-9)
+        )
+        cell.update(
+            ipc_ratio=ipc_ratio,
+            bpki_ratio=bpki_ratio,
+            score=ipc_ratio / bpki_ratio,
+        )
+
+
+def _geomean(values: List[float]) -> Optional[float]:
+    if not values or any(v <= 0 for v in values):
+        return None
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def rank_entrants(
+    entrants: Dict[str, tuple], cells: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Geomean score per entrant, best first."""
+    ranking = []
+    for name, (policy, params) in entrants.items():
+        mine = [c for c in cells if c["entrant"] == name
+                and c.get("score") is not None]
+        ranking.append({
+            "entrant": name,
+            "policy": policy,
+            "workloads_scored": len(mine),
+            "geomean_score": _geomean([c["score"] for c in mine]),
+            "geomean_ipc_ratio": _geomean(
+                [c["ipc_ratio"] for c in mine]
+            ),
+            "geomean_bpki_ratio": _geomean(
+                [c["bpki_ratio"] for c in mine]
+            ),
+        })
+    ranking.sort(
+        key=lambda row: (
+            row["geomean_score"] is not None,
+            row["geomean_score"] or 0.0,
+        ),
+        reverse=True,
+    )
+    return ranking
+
+
+def compute(
+    smoke: bool = False,
+    jobs: int = 2,
+    timeout: Optional[float] = 900.0,
+    checkpoint: Optional[CheckpointJournal] = None,
+    resume: bool = False,
+    series_dir: Optional[Path] = None,
+) -> Dict[str, Any]:
+    """All three phases; returns the BENCH_policy.json payload."""
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    input_set = SMOKE_INPUT_SET if smoke else INPUT_SET
+    base = SystemConfig.scaled()
+    if smoke:
+        base = base.with_overrides(**SMOKE_OVERRIDES)
+    entrants = dict(ENTRANTS)
+    if smoke:
+        entrants = {name: entrants[name] for name in SMOKE_ENTRANTS}
+
+    series_dir = series_dir or (
+        Path(".repro-checkpoints") / "policy-tournament-series"
+    )
+    series_files = record_series(workloads, input_set, series_dir, base)
+    training = train_policy(series_files, policy="qlearn")
+    if "qlearn-trained" in entrants:
+        entrants["qlearn-trained"] = (
+            "qlearn", training["policy_params"]
+        )
+
+    outcome = run_tournament(
+        entrants, workloads, input_set, base,
+        jobs=jobs, timeout=timeout, checkpoint=checkpoint, resume=resume,
+    )
+    score_cells(outcome["cells"])
+    ranking = rank_entrants(entrants, outcome["cells"])
+    return {
+        "benchmark": "bench_policy_tournament",
+        "mechanism": MECHANISM,
+        "config": "scaled",
+        "input_set": input_set,
+        "smoke": smoke,
+        "workloads": workloads,
+        "normalizer": NORMALIZER,
+        "entrants": [
+            {"entrant": name, "policy": policy, "policy_params": params}
+            for name, (policy, params) in entrants.items()
+        ],
+        "training": {
+            key: training[key]
+            for key in ("policy", "rows", "transitions",
+                        "states_visited", "hyperparameters")
+        },
+        "cells": outcome["cells"],
+        "ranking": ranking,
+        "failures": outcome["failures"],
+    }
+
+
+#: schema floor for the full artifact (CI validates the smoke shape
+#: with the same checker minus the count floors)
+FULL_MIN_POLICIES = 4
+FULL_MIN_WORKLOADS = 3
+
+_CELL_KEYS = {"workload", "entrant", "policy", "policy_params",
+              "ipc", "bpki", "ipc_ratio", "bpki_ratio", "score"}
+_RANK_KEYS = {"entrant", "policy", "workloads_scored", "geomean_score",
+              "geomean_ipc_ratio", "geomean_bpki_ratio"}
+
+
+def validate_payload(payload: Dict[str, Any], smoke: bool = False) -> None:
+    """Assert the BENCH_policy.json schema (used by CI and the tests)."""
+    for key in ("benchmark", "mechanism", "workloads", "normalizer",
+                "entrants", "training", "cells", "ranking", "failures"):
+        assert key in payload, f"payload missing {key!r}"
+    assert payload["benchmark"] == "bench_policy_tournament"
+    assert not payload["failures"], payload["failures"]
+    policies = {e["policy"] for e in payload["entrants"]}
+    if not smoke:
+        assert len(policies) >= FULL_MIN_POLICIES, (
+            f"full tournament must rank >= {FULL_MIN_POLICIES} distinct "
+            f"policies, got {sorted(policies)}"
+        )
+        assert len(payload["workloads"]) >= FULL_MIN_WORKLOADS
+        assert {"table3", "pid", "static"} <= policies
+        assert policies & {"qlearn", "bandit"}
+    n_expected = len(payload["entrants"]) * len(payload["workloads"])
+    assert len(payload["cells"]) == n_expected
+    for cell in payload["cells"]:
+        assert _CELL_KEYS <= set(cell), f"cell missing keys: {cell}"
+        assert cell["score"] is not None and cell["score"] > 0
+        if cell["entrant"] == payload["normalizer"]:
+            assert abs(cell["score"] - 1.0) < 1e-9
+    assert len(payload["ranking"]) == len(payload["entrants"])
+    for row in payload["ranking"]:
+        assert _RANK_KEYS <= set(row), f"ranking row missing keys: {row}"
+        assert row["geomean_score"] is not None
+    scores = [row["geomean_score"] for row in payload["ranking"]]
+    assert scores == sorted(scores, reverse=True)
+    assert payload["training"]["transitions"] > 0
+
+
+def render(payload: Dict[str, Any]) -> str:
+    def fmt(value: Optional[float]) -> str:
+        return f"{value:.3f}" if value is not None else "n/a"
+
+    rows = []
+    for rank, row in enumerate(payload["ranking"], 1):
+        per_workload = {
+            c["workload"]: c
+            for c in payload["cells"]
+            if c["entrant"] == row["entrant"]
+        }
+        rows.append((
+            f"{rank}",
+            row["entrant"],
+            fmt(row["geomean_score"]),
+            fmt(row["geomean_ipc_ratio"]),
+            fmt(row["geomean_bpki_ratio"]),
+            " ".join(
+                f"{w}={fmt(per_workload[w]['score'])}"
+                for w in payload["workloads"]
+                if w in per_workload
+            ),
+        ))
+    for failure in payload["failures"]:
+        rows.append(("-", failure["cell"], "FAILED",
+                     failure["reason"], "", ""))
+    return format_table(
+        ["#", "entrant", "perf/BW", "dIPC", "dBPKI", "per-workload"],
+        rows,
+        title=(
+            "Throttling-policy tournament — geomean perf-per-bandwidth "
+            f"vs {payload['normalizer']} "
+            f"({', '.join(payload['workloads'])})"
+        ),
+    )
+
+
+def bench_policy_tournament(benchmark, show, tmp_path):
+    """pytest entry: the smoke tournament plus schema validation."""
+    payload = benchmark.pedantic(
+        compute,
+        kwargs={"smoke": True, "series_dir": tmp_path / "series"},
+        rounds=1, iterations=1,
+    )
+    show(render(payload))
+    validate_payload(payload, smoke=True)
+    entrants = {e["entrant"] for e in payload["entrants"]}
+    assert entrants == set(SMOKE_ENTRANTS)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="throttling-policy tournament on perf per bandwidth"
+    )
+    repo_root = Path(__file__).resolve().parent.parent
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=repo_root / "BENCH_policy.json",
+        help="output JSON path (default: BENCH_policy.json at repo root)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="2 policies x 2 workloads on the test input (CI)",
+    )
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--resume", action="store_true",
+                        help="resume the tournament matrix from its "
+                             "checkpoint journal")
+    parser.add_argument("--checkpoint-dir", default=".repro-checkpoints")
+    args = parser.parse_args(argv)
+
+    journal = CheckpointJournal.for_sweep(
+        "policy-tournament", args.checkpoint_dir
+    )
+    if not args.resume:
+        journal.clear()
+    payload = compute(
+        smoke=args.smoke, jobs=args.jobs,
+        checkpoint=journal, resume=args.resume,
+        series_dir=Path(args.checkpoint_dir) / "policy-tournament-series",
+    )
+    print(render(payload))
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    try:
+        validate_payload(payload, smoke=args.smoke)
+    except AssertionError as error:
+        print(f"schema validation failed: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

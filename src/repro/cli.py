@@ -36,6 +36,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core.config import ENGINES, SystemConfig
+from repro.policy import POLICY_NAMES, train_policy
+from repro.policy.qlearn import N_STATES as Q_N_STATES
 from repro.cost.hardware import baseline_costs, proposal_cost
 from repro.errors import ReproError, UsageError
 from repro.experiments.configs import MECHANISMS, get_mechanism
@@ -98,6 +100,30 @@ def _config(args) -> SystemConfig:
     engine = getattr(args, "engine", None)
     if engine is not None:
         config = config.with_overrides(engine=engine)
+    policy_file = getattr(args, "policy_file", None)
+    if policy_file is not None:
+        # a payload written by `repro train-policy --out`: carries both
+        # the policy name and the params string (with the trained table)
+        try:
+            with open(policy_file) as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError) as error:
+            raise UsageError(f"cannot load --policy-file: {error}")
+        if "policy" not in payload or "policy_params" not in payload:
+            raise UsageError(
+                f"--policy-file {policy_file} is not a train-policy "
+                "payload (missing policy/policy_params)"
+            )
+        config = config.with_overrides(
+            throttle_policy=payload["policy"],
+            policy_params=payload["policy_params"],
+        )
+    policy = getattr(args, "policy", None)
+    if policy is not None:
+        config = config.with_overrides(throttle_policy=policy)
+    policy_params = getattr(args, "policy_params", None)
+    if policy_params is not None:
+        config = config.with_overrides(policy_params=policy_params)
     return config.validate()
 
 
@@ -368,6 +394,21 @@ def cmd_sweep(args) -> int:
                            args.input_set)
         return str(path) if path.exists() else None
 
+    def cell_policy(benchmark: str, mechanism: str):
+        """(policy, params) from the cell's own job config, or nulls.
+
+        Read from the job rather than the sweep config so rows resumed
+        from journals predating the policy subsystem export null (their
+        dict-shaped configs carry no throttle_policy), mirroring the
+        provenance columns.
+        """
+        outcome = cells.get((benchmark, mechanism))
+        cell_config = outcome.job.config if outcome is not None else config
+        policy = getattr(cell_config, "throttle_policy", None)
+        if policy is None:
+            return None, None
+        return policy, getattr(cell_config, "policy_params", "")
+
     baselines = {b: result_of(b, "baseline") for b in benchmarks}
     export_records = []
     rows = []
@@ -376,21 +417,25 @@ def cmd_sweep(args) -> int:
         base = baselines[bench]
         attempts, backoff = cell_retry_schedule(bench, "baseline")
         executor, host, queued = cell_provenance(bench, "baseline")
+        policy, policy_params = cell_policy(bench, "baseline")
         export_records.append(result_record(
             bench, "baseline", base,
             series_file=cell_series_file(bench, "baseline"),
             attempts=attempts, backoff_seconds=backoff,
             executor=executor, host=host, queue_seconds=queued,
+            policy=policy, policy_params=policy_params,
         ))
         for mechanism in mechanisms:
             result = result_of(bench, mechanism)
             attempts, backoff = cell_retry_schedule(bench, mechanism)
             executor, host, queued = cell_provenance(bench, mechanism)
+            policy, policy_params = cell_policy(bench, mechanism)
             export_records.append(result_record(
                 bench, mechanism, result,
                 series_file=cell_series_file(bench, mechanism),
                 attempts=attempts, backoff_seconds=backoff,
                 executor=executor, host=host, queue_seconds=queued,
+                policy=policy, policy_params=policy_params,
             ))
             if is_failed(result) or is_failed(base):
                 cells_row.append(str(result if is_failed(result) else base))
@@ -771,6 +816,45 @@ def cmd_cost(args) -> int:
     return 0
 
 
+def cmd_train_policy(args) -> int:
+    payload = train_policy(
+        args.series,
+        policy=args.policy,
+        alpha=args.alpha,
+        gamma=args.gamma,
+        epsilon=args.epsilon,
+        penalty=args.penalty,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    print(
+        f"trained {payload['policy']} on {len(payload['files'])} series "
+        f"file(s): {payload['rows']} samples, "
+        f"{payload['transitions']} transitions, "
+        f"{payload['states_visited']}/{Q_N_STATES} states visited",
+        file=sys.stderr,
+    )
+    actions = payload["greedy_actions"]
+    print(
+        "greedy actions over visited states: "
+        + ", ".join(f"{name}={actions[name]}" for name in actions),
+        file=sys.stderr,
+    )
+    if args.out:
+        with open(args.out, "w") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        print(
+            f"wrote {args.out}; run it with "
+            f"`repro sweep --policy-file {args.out}`",
+            file=sys.stderr,
+        )
+    else:
+        # params on stdout so shells can capture them directly
+        print(payload["policy_params"])
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -789,6 +873,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--engine", default=None, choices=list(ENGINES),
                        help="simulation engine (default: the config's; "
                             "'batch' needs the [perf] extra)")
+        p.add_argument("--policy", default=None, choices=list(POLICY_NAMES),
+                       help="throttling policy for coordinated mechanisms "
+                            "(default: table3, the paper's heuristic)")
+        p.add_argument("--policy-params", default=None, metavar="K=V,K=V",
+                       help="policy parameters, e.g. 'level=1' or "
+                            "'epsilon=0.05,seed=7'")
+        p.add_argument("--policy-file", default=None, metavar="POLICY.json",
+                       help="load policy + params from a `repro "
+                            "train-policy --out` payload")
         p.add_argument("--debug", action="store_true",
                        help="print full tracebacks instead of one-line errors")
 
@@ -1009,6 +1102,38 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cost", help="print the Table 7 hardware cost model")
     p.add_argument("--paper", action="store_true")
     p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser(
+        "train-policy",
+        help="train a qlearn/bandit throttling policy on recorded "
+             "telemetry series",
+    )
+    p.add_argument("series", nargs="+", metavar="SERIES",
+                   help=".series.jsonl files or directories of them "
+                        "(e.g. a sweep's <name>-series/ directory)")
+    p.add_argument("--policy", default="qlearn",
+                   choices=["qlearn", "bandit"],
+                   help="which learner to train (bandit = gamma pinned 0)")
+    p.add_argument("--alpha", type=float, default=0.2,
+                   help="learning rate (default 0.2)")
+    p.add_argument("--gamma", type=float, default=0.6,
+                   help="discount factor (default 0.6; ignored for bandit)")
+    p.add_argument("--epsilon", type=float, default=0.0,
+                   help="exploration rate baked into the emitted params "
+                        "(default 0.0: pure greedy replay)")
+    p.add_argument("--penalty", type=float, default=0.5,
+                   help="bandwidth penalty weight in the reward "
+                        "(default 0.5)")
+    p.add_argument("--epochs", type=int, default=4,
+                   help="replay passes over the experience (default 4)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed baked into the emitted params (default 0)")
+    p.add_argument("--out", default=None, metavar="POLICY.json",
+                   help="write the payload here (for sweep --policy-file); "
+                        "default: params string to stdout")
+    p.add_argument("--debug", action="store_true",
+                   help="print full tracebacks instead of one-line errors")
+    p.set_defaults(func=cmd_train_policy)
 
     return parser
 

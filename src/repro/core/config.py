@@ -98,6 +98,14 @@ class SystemConfig:
     t_coverage: float = 0.2
     a_low: float = 0.4
     a_high: float = 0.7
+    # Which controller sits between the feedback collector and the
+    # aggressiveness ladders (see repro.policy).  "table3" is the paper's
+    # heuristic and the bit-identical default; policy_params is a
+    # "key=value,key=value" string (kept a string so the frozen config
+    # stays hashable for the result cache and content-addressed job
+    # identity — a trained Q table embeds here and hashes with the job).
+    throttle_policy: str = "table3"
+    policy_params: str = ""
 
     @property
     def min_memory_latency(self) -> float:
@@ -207,6 +215,23 @@ class SystemConfig:
         if ok("a_low", "a_high") and self.a_low >= self.a_high:
             problems["a_low"] = (
                 f"must be below a_high ({self.a_high}); got {self.a_low}"
+            )
+        if not isinstance(self.throttle_policy, str):
+            problems["throttle_policy"] = (
+                f"must be a string (got {self.throttle_policy!r})"
+            )
+        elif not isinstance(self.policy_params, str):
+            problems["policy_params"] = (
+                f"must be a 'key=value,...' string "
+                f"(got {self.policy_params!r})"
+            )
+        else:
+            # imported lazily: repro.policy imports prefetcher/throttle
+            # modules, which must not load just to construct a config
+            from repro.policy.registry import validate_policy
+
+            problems.update(
+                validate_policy(self.throttle_policy, self.policy_params)
             )
         if problems:
             details = "; ".join(

@@ -82,6 +82,14 @@ def journal_record(outcome: JobResult) -> dict:
         "attempts": outcome.attempts,
         "duration": round(outcome.duration, 6),
     }
+    # throttling-policy provenance (identity-bearing: the config feeds
+    # the job key wholesale).  Dict-shaped configs (older tests) and
+    # pre-policy journals simply carry no policy columns -> exported
+    # null, mirroring the executor/host provenance pattern.
+    policy = getattr(job.config, "throttle_policy", None)
+    if policy is not None:
+        record["policy"] = policy
+        record["policy_params"] = getattr(job.config, "policy_params", "")
     if outcome.backoff_total:
         record["backoff_seconds"] = round(outcome.backoff_total, 6)
     if outcome.crashes:

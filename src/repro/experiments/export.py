@@ -40,6 +40,8 @@ FIELDS = [
     "queue_seconds",
     "error_type",
     "series_file",
+    "policy",
+    "policy_params",
 ]
 
 
@@ -53,6 +55,8 @@ def result_record(
     executor: Union[str, None] = None,
     host: Union[str, None] = None,
     queue_seconds: Union[float, None] = None,
+    policy: Union[str, None] = None,
+    policy_params: Union[str, None] = None,
 ) -> Dict:
     """Flatten one run's metrics into an export row.
 
@@ -76,6 +80,13 @@ def result_record(
     series recorded for this cell (sweeps run with ``--telemetry``
     persist one file per cell beside the checkpoint journal); it stays
     null for runs without telemetry.
+
+    ``policy`` and ``policy_params`` record which throttling policy
+    (``repro.policy``) governed the run.  Unlike the provenance trio
+    they are identity-bearing (part of the config, thus of the job's
+    content hash); they stay null for journals written before policies
+    existed.  Failed rows keep them — the policy was still part of what
+    was asked for.
     """
     if is_failed(result):
         failure = getattr(result, "failure", None)
@@ -87,6 +98,8 @@ def result_record(
             error_type=getattr(failure, "error_type", None),
             attempts=attempts,
             backoff_seconds=backoff_seconds,
+            policy=policy,
+            policy_params=policy_params,
         )
         return record
     return {
@@ -111,6 +124,8 @@ def result_record(
         "queue_seconds": queue_seconds,
         "error_type": None,
         "series_file": series_file,
+        "policy": policy,
+        "policy_params": policy_params,
     }
 
 

@@ -36,8 +36,7 @@ from repro.prefetch.markov import MarkovPrefetcher
 from repro.prefetch.pointer_cache import PointerCachePrefetcher
 from repro.prefetch.stream import StreamPrefetcher
 from repro.prefetch.stride import NextLinePrefetcher, StridePrefetcher
-from repro.throttle.coordinated import CoordinatedThrottle
-from repro.throttle.levels import ThrottleThresholds
+from repro.policy.registry import controller_for
 from repro.throttle.fdp import FdpThrottle
 from repro.throttle.gendler import GendlerSelector
 from repro.workloads.base import WorkloadInstance
@@ -310,14 +309,20 @@ def build_core(
         telemetry=telemetry,
     )
 
-    thresholds = ThrottleThresholds(
-        t_coverage=config.t_coverage,
-        a_low=config.a_low,
-        a_high=config.a_high,
-    )
     if mechanism.throttle == "coordinated":
-        if len(throttled) >= 2:
-            CoordinatedThrottle(throttled, thresholds).attach(core.feedback)
+        # the pluggable policy seam (repro.policy): the config names the
+        # controller; "table3" reproduces CoordinatedThrottle bit for bit
+        # (tests/differential/test_policy.py).  controller_for returns
+        # None when the policy needs more prefetchers than this core has
+        # — the same "leave levels alone" outcome as before.
+        controller = controller_for(throttled, config)
+        if controller is not None:
+            # getattr-guarded so the differential harness can swap in the
+            # legacy CoordinatedThrottle (which has no install hook)
+            install = getattr(controller, "install", None)
+            if install is not None:
+                install(core, dram)
+            controller.attach(core.feedback)
     elif mechanism.throttle == "fdp":
         FdpThrottle(throttled).attach(core.feedback)
     elif mechanism.throttle == "gendler":

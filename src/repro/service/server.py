@@ -660,6 +660,7 @@ class SimulationServer:
                 store_records=len(self.store),
                 draining=self._draining,
                 events=self.events.appended,
+                policies=self.store.policy_counts(),
             )
             return 200, stats
         if parts == ["events"]:
@@ -672,6 +673,9 @@ class SimulationServer:
                         "label": entry.job.label,
                         "status": entry.status,
                         "cached": entry.cached,
+                        "policy": getattr(
+                            entry.job.config, "throttle_policy", None
+                        ),
                     }
                     for entry in self._entries.values()
                 ]

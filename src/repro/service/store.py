@@ -101,3 +101,17 @@ class ResultStore:
                 key: record_content_hash(record)
                 for key, record in self._records.items()
             }
+
+    def policy_counts(self) -> Dict[str, int]:
+        """Throttling policy → number of stored records it governed.
+
+        Records from journals written before the policy subsystem carry
+        no ``policy`` field and count under ``"null"`` — the same
+        pre-feature-is-explicit convention the export columns use.
+        """
+        counts: Dict[str, int] = {}
+        with self._lock:
+            for record in self._records.values():
+                policy = record.get("policy") or "null"
+                counts[policy] = counts.get(policy, 0) + 1
+        return counts

@@ -14,6 +14,14 @@ the best *rival* prefetcher:
 The heuristics are prefetcher-symmetric and prefetcher-agnostic, so the same
 controller coordinates any set of two *or more* prefetchers (the paper notes
 the N-ary generalization as ongoing work; we support it and test it).
+
+This module is the **frozen legacy reference** for the pluggable policy
+subsystem: production runs go through ``repro.policy`` (where
+``Table3Policy`` + ``PolicyThrottle`` replay these exact heuristics), and
+``tests/differential/test_policy.py`` asserts bit-identical snapshots and
+throttle trajectories against ``CoordinatedThrottle`` on every engine.
+Keep the decision logic here unchanged — it is the ground truth that
+differential suite compares against.
 """
 
 from __future__ import annotations

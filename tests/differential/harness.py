@@ -24,7 +24,6 @@ from typing import Any, Dict, Optional, Tuple
 from repro.core.config import ENGINES, SystemConfig
 from repro.experiments.configs import get_mechanism
 from repro.experiments.runner import build_core, hint_filter_for, make_dram
-from repro.throttle.coordinated import CoordinatedThrottle
 from repro.workloads.registry import get_workload
 
 
@@ -51,10 +50,13 @@ def capture(
                       telemetry=telemetry)
     result = core.run(instance.trace())
 
+    # duck-typed on the controller exposing a ``decisions`` list, so
+    # both the legacy CoordinatedThrottle and any PolicyThrottle-driven
+    # policy (repro.policy) record a comparable trajectory
     trajectory = None
     hook = core.feedback.on_interval
     controller = getattr(hook, "__self__", None)
-    if isinstance(controller, CoordinatedThrottle):
+    if getattr(controller, "decisions", None) is not None:
         trajectory = [
             (
                 decision.owner,
